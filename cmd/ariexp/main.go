@@ -1,0 +1,101 @@
+// Command ariexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ariexp -fig 11                # one figure (table1,3,4,5,util,6,9..16,scale,area)
+//	ariexp -fig all               # everything, in paper order
+//	ariexp -fig 11 -cycles 20000  # longer measurement window
+//	ariexp -quick                 # fast smoke pass (short horizons)
+//	ariexp -v                     # per-run progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// sanitize maps a figure id to a filesystem-safe name.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure id or 'all'")
+		cycles  = flag.Int64("cycles", 10000, "measured NoC cycles per run")
+		warmup  = flag.Int64("warmup", 3000, "warmup NoC cycles per run")
+		quick   = flag.Bool("quick", false, "short horizons for a smoke pass")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		csvDir  = flag.String("csv", "", "also write each figure's table as CSV into this directory")
+		list    = flag.Bool("list", false, "list figure ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	r := exp.NewRunner()
+	r.Base.MeasureCycles = *cycles
+	r.Base.WarmupCycles = *warmup
+	r.Base.Seed = *seed
+	r.Workers = *workers
+	if *quick {
+		r.Base.MeasureCycles = 3000
+		r.Base.WarmupCycles = 1000
+	}
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+
+	start := time.Now()
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = ids[:0]
+		for _, e := range exp.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ariexp:", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		f, err := exp.Generate(r, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ariexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println(f.String())
+		if *csvDir != "" && f.Table != nil {
+			path := filepath.Join(*csvDir, "fig_"+sanitize(id)+".csv")
+			if err := os.WriteFile(path, []byte(f.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ariexp:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("(%d simulations, %s)\n", r.Runs(), time.Since(start).Round(time.Millisecond))
+}

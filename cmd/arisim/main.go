@@ -1,0 +1,285 @@
+// Command arisim runs one (benchmark, scheme) simulation and prints the
+// detailed statistics: IPC, packet latencies, traffic mix, link utilisation,
+// MC stall time and cache behaviour.
+//
+// Usage:
+//
+//	arisim -bench bfs -scheme Ada-ARI -cycles 20000 [-warmup 4000]
+//	       [-mesh 6x6] [-mc 8] [-vcs 4] [-reqlink 128] [-replink 128]
+//	       [-speedup 4] [-priolevels 2] [-seed 1] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "bfs", "benchmark name (see -list)")
+		schemeStr = flag.String("scheme", "Ada-ARI", "scheme: XY-Baseline, XY-ARI, Ada-Baseline, Ada-MultiPort, Ada-ARI, Acc-Supply, Acc-Consume, Acc-Both-NoPriority, DA2Mesh, DA2Mesh+ARI")
+		cycles    = flag.Int64("cycles", 20000, "measured NoC cycles")
+		warmup    = flag.Int64("warmup", 4000, "warmup NoC cycles")
+		meshStr   = flag.String("mesh", "6x6", "mesh WxH")
+		numMC     = flag.Int("mc", 8, "memory controllers")
+		vcs       = flag.Int("vcs", 4, "virtual channels per port")
+		reqLink   = flag.Int("reqlink", 128, "request-network link bits")
+		repLink   = flag.Int("replink", 128, "reply-network link bits")
+		speedup   = flag.Int("speedup", 4, "injection-port crossbar speedup")
+		prio      = flag.Int("priolevels", 2, "ARI priority levels")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		record    = flag.String("record", "", "record the memory trace to this file")
+		replay    = flag.String("replay", "", "replay a recorded memory trace from this file")
+		confFile  = flag.String("config", "", "load the base configuration from a JSON file (flags still override)")
+		dumpConf  = flag.Bool("dumpconfig", false, "print the effective configuration as JSON and exit")
+		work      = flag.Uint64("work", 0, "fixed-work mode: measure until this many warp-instructions retire (0 = fixed horizon)")
+		heatmap   = flag.Bool("heatmap", false, "print per-node reply-network link/injection utilisation grids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range trace.Suite() {
+			fmt.Printf("%-16s %s\n", k.Name, k.Sens)
+		}
+		return
+	}
+
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		fatal(err)
+	}
+	kernel, err := trace.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(*meshStr, "%dx%d", &w, &h); err != nil {
+		fatal(fmt.Errorf("bad -mesh %q: %w", *meshStr, err))
+	}
+
+	cfg := core.DefaultConfig()
+	if *confFile != "" {
+		data, err := os.ReadFile(*confFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *confFile, err))
+		}
+	}
+	// Explicitly passed flags override the file; defaults do not.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	override := func(name string, apply func()) {
+		if *confFile == "" || set[name] {
+			apply()
+		}
+	}
+	override("mesh", func() { cfg.MeshWidth, cfg.MeshHeight = w, h })
+	override("mc", func() { cfg.NumMC = *numMC })
+	override("vcs", func() { cfg.VCs = *vcs })
+	override("reqlink", func() { cfg.ReqLinkBits = *reqLink })
+	override("replink", func() { cfg.RepLinkBits = *repLink })
+	override("scheme", func() { cfg.Scheme = scheme })
+	override("speedup", func() { cfg.InjSpeedup = *speedup })
+	override("priolevels", func() { cfg.PriorityLevels = *prio })
+	override("seed", func() { cfg.Seed = *seed })
+	override("warmup", func() { cfg.WarmupCycles = *warmup })
+	override("cycles", func() { cfg.MeasureCycles = *cycles })
+
+	if *dumpConf {
+		out, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	workload, finish, err := buildWorkload(*record, *replay, cfg, kernel)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := core.NewSimulatorWorkload(cfg, kernel, workload)
+	if err != nil {
+		fatal(err)
+	}
+	var r core.Result
+	if *work > 0 {
+		r = sim.RunWork(*work, cfg.MeasureCycles*100)
+	} else {
+		r = sim.Run()
+	}
+	if finish != nil {
+		if err := finish(); err != nil {
+			fatal(err)
+		}
+	}
+	printResult(r)
+	if *heatmap {
+		printHeatmap(sim, cfg)
+	}
+}
+
+// printHeatmap renders the reply network's per-node load: the summed mesh
+// link flits/cycle leaving each router, and each NI's injection-link
+// flits/cycle. The MC nodes light up on the injection grid while the mesh
+// grid stays cool — the §3 observation made visible.
+func printHeatmap(sim *core.Simulator, cfg core.Config) {
+	rep, ok := sim.ReplyNet().(*noc.Network)
+	if !ok {
+		fmt.Println("\n(heatmap available only for mesh reply fabrics)")
+		return
+	}
+	cycles := float64(rep.Stats().Cycles)
+	if cycles == 0 {
+		return
+	}
+	link := rep.LinkLoad()
+	ni := rep.NILoad()
+	isMC := map[int]bool{}
+	for _, n := range sim.MCNodes() {
+		isMC[n] = true
+	}
+	mark := func(node int) byte {
+		if isMC[node] {
+			return '*'
+		}
+		return ' '
+	}
+	fmt.Println("\nreply-network mesh-link load (flits/cycle out of each router; * = MC):")
+	for y := 0; y < cfg.MeshHeight; y++ {
+		for x := 0; x < cfg.MeshWidth; x++ {
+			node := y*cfg.MeshWidth + x
+			var total uint64
+			for d := 0; d < 4; d++ {
+				total += link[node][d]
+			}
+			fmt.Printf(" %5.2f%c", float64(total)/cycles, mark(node))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreply-network injection-link load (flits/cycle from each NI):")
+	for y := 0; y < cfg.MeshHeight; y++ {
+		for x := 0; x < cfg.MeshWidth; x++ {
+			node := y*cfg.MeshWidth + x
+			fmt.Printf(" %5.2f%c", float64(ni[node])/cycles, mark(node))
+		}
+		fmt.Println()
+	}
+}
+
+// buildWorkload wires the optional trace record/replay paths. It returns a
+// nil workload (synthetic generation) when neither flag is set, and a
+// finish hook to flush/close files.
+func buildWorkload(record, replay string, cfg core.Config, kernel trace.Kernel) (trace.Workload, func() error, error) {
+	switch {
+	case record != "" && replay != "":
+		return nil, nil, fmt.Errorf("-record and -replay are mutually exclusive")
+	case replay != "":
+		f, err := os.Open(replay)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := trace.NewReplayer(f)
+		cerr := f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		cores, warps := rep.Shape()
+		need := cfg.MeshWidth*cfg.MeshHeight - cfg.NumMC
+		if cores != need || warps != kernel.WarpsPerCore {
+			return nil, nil, fmt.Errorf("trace shape %dx%d does not match system %dx%d",
+				cores, warps, need, kernel.WarpsPerCore)
+		}
+		return rep, nil, nil
+	case record != "":
+		cores := cfg.MeshWidth*cfg.MeshHeight - cfg.NumMC
+		gen, err := trace.NewGenerator(kernel, cores, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := os.Create(record)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec, err := trace.NewRecorder(gen, f, cores, kernel.WarpsPerCore)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		finish := func() error {
+			if err := rec.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "recorded %d trace records to %s\n", rec.Records(), record)
+			return f.Close()
+		}
+		return rec, finish, nil
+	default:
+		return nil, nil, nil
+	}
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	for sch := core.Scheme(0); int(sch) < core.NumSchemes; sch++ {
+		if strings.EqualFold(sch.String(), s) {
+			return sch, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func printResult(r core.Result) {
+	fmt.Printf("benchmark        %s\n", r.Benchmark)
+	fmt.Printf("scheme           %s\n", r.Scheme)
+	fmt.Printf("measured cycles  %d (NoC) / %d (core)\n", r.MeasuredCycles, r.CoreCycles)
+	fmt.Printf("instructions     %d\n", r.Instructions)
+	fmt.Printf("IPC              %.3f warp-instr/core-cycle (aggregate)\n", r.IPC)
+	fmt.Println()
+	fmt.Printf("request net:  avg pkt latency %.1f  link util %.4f  inj util %.4f\n",
+		r.Req.AvgLatency(noc.ReadRequest, noc.WriteRequest), r.Req.MeshLinkUtil(), r.Req.InjLinkUtil())
+	fmt.Printf("reply net:    avg pkt latency %.1f  link util %.4f  inj util %.4f\n",
+		r.Rep.AvgLatency(noc.ReadReply, noc.WriteReply), r.Rep.MeshLinkUtil(), r.Rep.InjLinkUtil())
+	fmt.Println()
+	fmt.Printf("traffic mix (flit-weighted):")
+	for t := noc.PacketType(0); int(t) < noc.NumPacketTypes; t++ {
+		fmt.Printf("  %s %.1f%%", t, 100*flitShareBoth(&r, t))
+	}
+	fmt.Println()
+	fmt.Printf("MC stall time    %d cycles (blocked %d)\n", r.MCStallTime, r.MCBlockedCycles)
+	fmt.Printf("replies sent     %d\n", r.RepliesSent)
+	fmt.Printf("NI occupancy     %.1f flits avg (cap %d)\n", r.NIOccAvgFlits, r.NIQueueCapFlits)
+	fmt.Printf("L1 hit %.3f  L2 hit %.3f  DRAM row hit %.3f\n", r.L1HitRate, r.L2HitRate, r.DRAMRowHitRate)
+}
+
+// flitShareBoth computes a packet type's share of flits across the two
+// networks combined, the paper's Fig 5 weighting.
+func flitShareBoth(r *core.Result, t noc.PacketType) float64 {
+	var total, mine uint64
+	for i := 0; i < noc.NumPacketTypes; i++ {
+		total += r.Req.FlitsInjected[i] + r.Rep.FlitsInjected[i]
+	}
+	mine = r.Req.FlitsInjected[t] + r.Rep.FlitsInjected[t]
+	if total == 0 {
+		return 0
+	}
+	return float64(mine) / float64(total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arisim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command arisweep sweeps one design parameter of the simulated system and
+// prints IPC (and stall) across the sweep — the tool behind the paper's
+// sensitivity studies (§7.5) and any ablation a user wants to run.
+//
+// Usage:
+//
+//	arisweep -param speedup -bench kmeans            # S = 1..4 (Fig 8 / §4.2)
+//	arisweep -param vcs -bench bfs                   # 1,2,4,8 VCs (Fig 15 axis)
+//	arisweep -param replink -bench bfs               # 64..512-bit reply links (Fig 4 axis)
+//	arisweep -param mesh -bench bfs                  # 4x4 / 6x6 / 8x8 (§7.5(2))
+//	arisweep -param niqueue -bench srad              # NI queue 4..80 packets (Fig 6 axis)
+//	arisweep -param starvation -bench bfs            # §5 threshold sensitivity
+//	arisweep -param priolevels -bench bfs            # 1..6 levels (Fig 9 axis)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		param  = flag.String("param", "speedup", "speedup | vcs | replink | mesh | niqueue | starvation | priolevels")
+		bench  = flag.String("bench", "bfs", "benchmark")
+		scheme = flag.String("scheme", "Ada-ARI", "scheme under sweep")
+		cycles = flag.Int64("cycles", 8000, "measured cycles")
+		warmup = flag.Int64("warmup", 2000, "warmup cycles")
+		seed   = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	kernel, err := trace.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	sch, err := parseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := core.DefaultConfig()
+	base.Scheme = sch
+	base.WarmupCycles = *warmup
+	base.MeasureCycles = *cycles
+	base.Seed = *seed
+
+	type point struct {
+		label string
+		cfg   core.Config
+	}
+	var points []point
+	add := func(label string, mutate func(*core.Config)) {
+		cfg := base
+		mutate(&cfg)
+		points = append(points, point{label, cfg})
+	}
+
+	switch *param {
+	case "speedup":
+		for s := 1; s <= 4; s++ {
+			s := s
+			add(fmt.Sprintf("S=%d", s), func(c *core.Config) { c.InjSpeedup = s })
+		}
+	case "vcs":
+		for _, v := range []int{1, 2, 4, 8} {
+			v := v
+			add(fmt.Sprintf("%dVC", v), func(c *core.Config) {
+				c.VCs = v
+				if c.InjSpeedup > v {
+					c.InjSpeedup = v
+				}
+			})
+		}
+	case "replink":
+		for _, b := range []int{64, 128, 256, 512} {
+			b := b
+			add(fmt.Sprintf("%db", b), func(c *core.Config) { c.RepLinkBits = b })
+		}
+	case "mesh":
+		for _, m := range []struct{ w, h, mc int }{{4, 4, 4}, {6, 6, 8}, {8, 8, 8}} {
+			m := m
+			add(fmt.Sprintf("%dx%d", m.w, m.h), func(c *core.Config) {
+				c.MeshWidth, c.MeshHeight, c.NumMC = m.w, m.h, m.mc
+			})
+		}
+	case "niqueue":
+		longPkt := noc.PacketSize(noc.ReadReply, base.RepLinkBits, base.DataBytes)
+		for _, p := range []int{4, 12, 28, 50, 80} {
+			p := p
+			add(fmt.Sprintf("%dpkt", p), func(c *core.Config) { c.NIQueueFlits = p * longPkt })
+		}
+	case "starvation":
+		for _, th := range []int64{100, 1000, 10000, 100000} {
+			th := th
+			add(fmt.Sprintf("%d", th), func(c *core.Config) { c.StarvationLimit = th })
+		}
+	case "priolevels":
+		for l := 1; l <= 6; l++ {
+			l := l
+			add(fmt.Sprintf("L=%d", l), func(c *core.Config) { c.PriorityLevels = l })
+		}
+	default:
+		fatal(fmt.Errorf("unknown -param %q", *param))
+	}
+
+	fmt.Printf("sweep %s on %s (%s), %d measured cycles\n\n", *param, *bench, sch, *cycles)
+	fmt.Printf("%-10s %10s %10s %14s %12s\n", *param, "IPC", "vs first", "stall/reply", "rep latency")
+	var first float64
+	for _, p := range points {
+		sim, err := core.NewSimulator(p.cfg, kernel)
+		if err != nil {
+			fatal(err)
+		}
+		r := sim.Run()
+		if first == 0 {
+			first = r.IPC
+		}
+		stall := 0.0
+		if r.RepliesSent > 0 {
+			stall = float64(r.MCStallTime) / float64(r.RepliesSent)
+		}
+		fmt.Printf("%-10s %10.3f %+9.1f%% %14.1f %12.1f\n",
+			p.label, r.IPC, 100*(r.IPC/first-1), stall,
+			r.Rep.AvgLatency(noc.ReadReply, noc.WriteReply))
+	}
+}
+
+func parseScheme(s string) (core.Scheme, error) {
+	for sch := core.Scheme(0); int(sch) < core.NumSchemes; sch++ {
+		if sch.String() == s {
+			return sch, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arisweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Package area is an analytical stand-in for the paper's RTL synthesis flow
+// (§6.1: Verilog + Design Compiler on NanGate 45nm). It estimates router
+// and NI areas from component counts — SRAM buffer bits, crossbar
+// crosspoints, allocator state, intra-tile wiring — with unit constants
+// calibrated against 45nm router synthesis results. Only relative overheads
+// are meaningful, which is all §6.1 reports: ~5.4% for a revised NI +
+// MC-router pair and <1% amortised over the whole NoC.
+package area
+
+import "fmt"
+
+// Params are the unit-area constants (um^2-scale model units).
+type Params struct {
+	SRAMBit      float64 // per buffer bit (input VCs, NI queues)
+	CrossPoint   float64 // per crossbar crosspoint bit
+	AllocTerm    float64 // per arbiter grant pair (allocator complexity)
+	WireBit      float64 // per intra-tile link bit (NI<->router, MC<->NI)
+	ControlFixed float64 // fixed control logic per router/NI
+}
+
+// DefaultParams returns constants that reproduce published 45nm
+// VC-router area proportions (buffers ~50%, crossbar ~30%, control ~20%
+// for a 5x5 128-bit 4-VC router).
+func DefaultParams() Params {
+	return Params{
+		SRAMBit:      1.0,
+		CrossPoint:   0.55,
+		AllocTerm:    18,
+		WireBit:      0.08,
+		ControlFixed: 800,
+	}
+}
+
+// RouterSpec describes one router for the model.
+type RouterSpec struct {
+	InPorts     int // mesh input ports + injection ports
+	OutPorts    int
+	SwitchPorts int // input-side crossbar ports (injection speedup adds)
+	VCs         int
+	VCDepth     int // flits
+	FlitBits    int
+}
+
+// NISpec describes one network interface.
+type NISpec struct {
+	QueueFlits int
+	FlitBits   int
+	SplitWays  int // 1 = single queue; ARI splits into VCs queues
+	WideBits   int // MC->NI / NI->queue wide link width (W)
+	NarrowBits int // NI->router narrow link width (N)
+	NarrowCnt  int // number of narrow links (1 baseline, VCs for ARI)
+}
+
+// Router returns the modelled router area.
+func Router(s RouterSpec, p Params) float64 {
+	buffers := float64(s.InPorts*s.VCs*s.VCDepth*s.FlitBits) * p.SRAMBit
+	xbar := float64(s.SwitchPorts*s.OutPorts*s.FlitBits) * p.CrossPoint
+	alloc := float64(s.VCs*s.InPorts*s.OutPorts+s.SwitchPorts*s.OutPorts) * p.AllocTerm
+	return buffers + xbar + alloc + p.ControlFixed
+}
+
+// NI returns the modelled network-interface area.
+func NI(s NISpec, p Params) float64 {
+	queue := float64(s.QueueFlits*s.FlitBits) * p.SRAMBit
+	// Split queues add per-way control and a distribution mux.
+	splitCtl := float64(s.SplitWays-1) * (p.ControlFixed * 0.1)
+	wires := float64(s.WideBits*2+s.NarrowBits*s.NarrowCnt) * p.WireBit
+	return queue + splitCtl + wires + p.ControlFixed*0.5
+}
+
+// Overheads summarises the §6.1 comparison.
+type Overheads struct {
+	BaselinePair float64 // baseline NI + MC-router area
+	ARIPair      float64 // revised NI + MC-router area
+	PairOverhead float64 // fractional increase of the pair
+	// AmortisedOverhead spreads the delta over the whole NoC: all routers
+	// and NIs of both networks (only reply-network MC-routers change).
+	AmortisedOverhead float64
+}
+
+// Evaluate computes the ARI area overheads for a mesh with the given node
+// and MC counts and configuration (Table I defaults: 4 VCs, 9-flit VC
+// depth, 128-bit flits, 36-flit NI queue, speedup 4).
+func Evaluate(nodes, numMC, vcs, vcDepth, flitBits, niQueueFlits, speedup int, p Params) (Overheads, error) {
+	if nodes <= 0 || numMC <= 0 || numMC > nodes {
+		return Overheads{}, fmt.Errorf("area: bad node counts %d/%d", numMC, nodes)
+	}
+	baseRouter := RouterSpec{
+		InPorts: 5, OutPorts: 5, SwitchPorts: 5,
+		VCs: vcs, VCDepth: vcDepth, FlitBits: flitBits,
+	}
+	ariRouter := baseRouter
+	ariRouter.SwitchPorts = 4 + speedup // injection port owns S switch-ports
+
+	baseNI := NISpec{
+		QueueFlits: niQueueFlits, FlitBits: flitBits, SplitWays: 1,
+		WideBits: vcDepth * flitBits, NarrowBits: flitBits, NarrowCnt: 1,
+	}
+	ariNI := baseNI
+	ariNI.SplitWays = vcs
+	ariNI.NarrowCnt = vcs
+
+	basePair := Router(baseRouter, p) + NI(baseNI, p)
+	ariPair := Router(ariRouter, p) + NI(ariNI, p)
+
+	// Whole-NoC area: both networks' routers plus the NIs on every node.
+	// Only the reply network's MC-routers and their NIs change.
+	wholeBase := float64(2*nodes)*Router(baseRouter, p) + float64(2*nodes)*NI(baseNI, p)
+	delta := float64(numMC) * (ariPair - basePair)
+
+	return Overheads{
+		BaselinePair:      basePair,
+		ARIPair:           ariPair,
+		PairOverhead:      (ariPair - basePair) / basePair,
+		AmortisedOverhead: delta / wholeBase,
+	}, nil
+}

@@ -1,0 +1,102 @@
+package area
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperOverheadBands(t *testing.T) {
+	// §6.1: revised NI + MC-router pair ~5.4% larger; amortised <1%.
+	o, err := Evaluate(36, 8, 4, 9, 128, 36, 4, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PairOverhead < 0.03 || o.PairOverhead > 0.08 {
+		t.Fatalf("pair overhead %.3f outside the 3-8%% band around the paper's 5.4%%", o.PairOverhead)
+	}
+	if o.AmortisedOverhead <= 0 || o.AmortisedOverhead >= 0.01 {
+		t.Fatalf("amortised overhead %.4f not in (0, 1%%)", o.AmortisedOverhead)
+	}
+	if o.ARIPair <= o.BaselinePair {
+		t.Fatal("ARI pair not larger than baseline")
+	}
+}
+
+func TestOverheadGrowsWithSpeedup(t *testing.T) {
+	p := DefaultParams()
+	prev := 0.0
+	for s := 1; s <= 4; s++ {
+		o, err := Evaluate(36, 8, 4, 9, 128, 36, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.PairOverhead < prev {
+			t.Fatalf("pair overhead not monotone in speedup: %v at S=%d", o.PairOverhead, s)
+		}
+		prev = o.PairOverhead
+	}
+}
+
+func TestAmortisationShrinksWithMeshSize(t *testing.T) {
+	p := DefaultParams()
+	small, _ := Evaluate(16, 8, 4, 9, 128, 36, 4, p)
+	large, _ := Evaluate(64, 8, 4, 9, 128, 36, 4, p)
+	if large.AmortisedOverhead >= small.AmortisedOverhead {
+		t.Fatal("amortised overhead should shrink as the mesh grows (same MC count)")
+	}
+}
+
+func TestRouterAreaComponents(t *testing.T) {
+	p := DefaultParams()
+	base := RouterSpec{InPorts: 5, OutPorts: 5, SwitchPorts: 5, VCs: 4, VCDepth: 9, FlitBits: 128}
+	a := Router(base, p)
+	bigBuf := base
+	bigBuf.VCDepth = 18
+	if Router(bigBuf, p) <= a {
+		t.Fatal("router area not increasing in buffer depth")
+	}
+	bigXbar := base
+	bigXbar.SwitchPorts = 8
+	if Router(bigXbar, p) <= a {
+		t.Fatal("router area not increasing in switch ports")
+	}
+}
+
+func TestNIAreaComponents(t *testing.T) {
+	p := DefaultParams()
+	base := NISpec{QueueFlits: 36, FlitBits: 128, SplitWays: 1, WideBits: 1024, NarrowBits: 128, NarrowCnt: 1}
+	a := NI(base, p)
+	split := base
+	split.SplitWays = 4
+	split.NarrowCnt = 4
+	if NI(split, p) <= a {
+		t.Fatal("split NI not larger than baseline NI")
+	}
+}
+
+func TestEvaluateRejectsBadCounts(t *testing.T) {
+	p := DefaultParams()
+	if _, err := Evaluate(0, 8, 4, 9, 128, 36, 4, p); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := Evaluate(36, 40, 4, 9, 128, 36, 4, p); err == nil {
+		t.Fatal("more MCs than nodes accepted")
+	}
+}
+
+func TestOverheadPositiveQuick(t *testing.T) {
+	p := DefaultParams()
+	f := func(vcs, speedup uint8) bool {
+		v := int(vcs%4) + 2
+		s := int(speedup%4) + 1
+		o, err := Evaluate(36, 8, v, 9, 128, 36, s, p)
+		if err != nil {
+			return false
+		}
+		return o.PairOverhead >= 0 && o.AmortisedOverhead >= 0 &&
+			o.AmortisedOverhead < o.PairOverhead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+package area
+
+import "testing"
+
+func TestCalibrationPrint(t *testing.T) {
+	o, err := Evaluate(36, 8, 4, 9, 128, 36, 4, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pair %.2f%%  amortised %.3f%%", o.PairOverhead*100, o.AmortisedOverhead*100)
+}

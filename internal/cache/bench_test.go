@@ -1,0 +1,31 @@
+package cache
+
+import "testing"
+
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 16 << 10, LineBytes: 128, Ways: 4})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+func BenchmarkCacheAccessStreaming(b *testing.B) {
+	c := New(Config{SizeBytes: 16 << 10, LineBytes: 128, Ways: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)*128, false)
+	}
+}
+
+func BenchmarkMSHRLookupFill(b *testing.B) {
+	m := NewMSHR(32, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := uint64(i%32) * 128
+		if m.Lookup(line, i) == Allocated && i%2 == 1 {
+			m.Fill(line)
+		}
+	}
+}

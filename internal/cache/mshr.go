@@ -1,0 +1,82 @@
+package cache
+
+// MSHR is a miss-status holding register file: it tracks outstanding line
+// fills and merges subsequent misses to the same line, so one in-flight
+// read request serves every warp waiting on that line.
+type MSHR struct {
+	entries map[uint64][]int // line addr -> waiter tokens
+	max     int
+	maxWait int
+
+	// Stats.
+	Merges    uint64
+	Allocs    uint64
+	FullStall uint64
+}
+
+// NewMSHR returns an MSHR file with at most maxEntries outstanding lines
+// and maxWaiters merged waiters per line.
+func NewMSHR(maxEntries, maxWaiters int) *MSHR {
+	if maxEntries <= 0 || maxWaiters <= 0 {
+		panic("cache: MSHR sizes must be positive")
+	}
+	return &MSHR{
+		entries: make(map[uint64][]int, maxEntries),
+		max:     maxEntries,
+		maxWait: maxWaiters,
+	}
+}
+
+// Outcome of an MSHR lookup/allocate.
+type Outcome uint8
+
+const (
+	// Allocated: a new entry was created; the caller must issue the fill.
+	Allocated Outcome = iota
+	// Merged: an entry existed; the waiter was attached, no new fill.
+	Merged
+	// Stalled: no entry or waiter slot available; retry later.
+	Stalled
+)
+
+// Lookup attaches waiter to lineAddr's entry, allocating one if needed.
+func (m *MSHR) Lookup(lineAddr uint64, waiter int) Outcome {
+	if ws, ok := m.entries[lineAddr]; ok {
+		if len(ws) >= m.maxWait {
+			m.FullStall++
+			return Stalled
+		}
+		m.entries[lineAddr] = append(ws, waiter)
+		m.Merges++
+		return Merged
+	}
+	if len(m.entries) >= m.max {
+		m.FullStall++
+		return Stalled
+	}
+	m.entries[lineAddr] = append(make([]int, 0, 4), waiter)
+	m.Allocs++
+	return Allocated
+}
+
+// Pending reports whether lineAddr has an outstanding fill.
+func (m *MSHR) Pending(lineAddr uint64) bool {
+	_, ok := m.entries[lineAddr]
+	return ok
+}
+
+// Fill completes lineAddr's outstanding fill and returns its waiters.
+func (m *MSHR) Fill(lineAddr uint64) []int {
+	ws, ok := m.entries[lineAddr]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, lineAddr)
+	return ws
+}
+
+// Occupied returns the number of outstanding entries.
+func (m *MSHR) Occupied() int { return len(m.entries) }
+
+// Full reports whether no further line can be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.max }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRecordedTraceReplaysFaithfully runs a simulation while recording the
+// workload, then replays the trace through a fresh simulator and checks the
+// system-level outcome matches (the streams are identical, and the
+// simulator is otherwise deterministic).
+func TestRecordedTraceReplaysFaithfully(t *testing.T) {
+	k, err := trace.ByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(XYBaseline)
+	cores := cfg.MeshWidth*cfg.MeshHeight - cfg.NumMC
+
+	gen, err := trace.NewGenerator(k, cores, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := trace.NewRecorder(gen, &buf, cores, k.WarpsPerCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA, err := NewSimulatorWorkload(cfg, k, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := simA.Run()
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records() == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	rep, err := trace.NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := NewSimulatorWorkload(cfg, k, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := simB.Run()
+
+	if a.Instructions != b.Instructions {
+		t.Fatalf("replay diverged: %d vs %d instructions", a.Instructions, b.Instructions)
+	}
+	if a.Rep.MeshLinkFlits != b.Rep.MeshLinkFlits || a.MCStallTime != b.MCStallTime {
+		t.Fatalf("replay diverged in network behaviour")
+	}
+}
+
+// TestRecorderDoesNotPerturbRun: a run with a Recorder in the loop must be
+// identical to a plain synthetic run (the recorder is a pure tee).
+func TestRecorderDoesNotPerturbRun(t *testing.T) {
+	k, _ := trace.ByName("bfs")
+	cfg := fastConfig(AdaARI)
+	cores := cfg.MeshWidth*cfg.MeshHeight - cfg.NumMC
+
+	simPlain, err := NewSimulator(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := simPlain.Run()
+
+	gen, _ := trace.NewGenerator(k, cores, cfg.Seed)
+	var buf bytes.Buffer
+	rec, _ := trace.NewRecorder(gen, &buf, cores, k.WarpsPerCore)
+	simRec, err := NewSimulatorWorkload(cfg, k, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := simRec.Run()
+
+	if plain.Instructions != recorded.Instructions || plain.IPC != recorded.IPC {
+		t.Fatalf("recorder perturbed the run: %d vs %d instructions",
+			plain.Instructions, recorded.Instructions)
+	}
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+// resettableFabric is a Fabric whose measurement counters can be cleared at
+// the warmup boundary (both the mesh network and the DA2mesh overlay are).
+type resettableFabric interface {
+	noc.Fabric
+	ResetStats()
+}
+
+// Simulator is one full-system instance: a kernel running on every compute
+// node, request and reply networks, and the MC nodes.
+type Simulator struct {
+	cfg      Config
+	kernel   trace.Kernel
+	workload trace.Workload
+
+	mesh      noc.Mesh
+	mcNodes   []int
+	ccNodes   []int
+	mcIndexOf map[int]int
+
+	reqNet *noc.Network
+	repNet resettableFabric
+
+	cores []*gpu.Core
+	mcs   []*mem.Controller
+
+	coreClock *timing.Clock
+	memClock  *timing.Clock
+	cycle     int64
+	measuring bool
+	// measuredCycles is the realised measurement window (fixed for Run,
+	// variable for RunWork).
+	measuredCycles int64
+
+	// coreCyclesMeasured counts core-clock ticks during measurement.
+	coreCyclesMeasured uint64
+}
+
+// NewSimulator assembles a simulator for kernel k under cfg, generating
+// the workload streams synthetically from k's parameters.
+func NewSimulator(cfg Config, k trace.Kernel) (*Simulator, error) {
+	return NewSimulatorWorkload(cfg, k, nil)
+}
+
+// NewSimulatorWorkload assembles a simulator that drives the cores with an
+// explicit workload (e.g. a trace.Replayer over a recorded trace, or a
+// trace.Recorder teeing the synthetic streams to disk). k still supplies
+// the occupancy (WarpsPerCore) and labels; when w is nil the synthetic
+// generator for k is used.
+func NewSimulatorWorkload(cfg Config, k trace.Kernel, w trace.Workload) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		kernel:    k,
+		workload:  w,
+		mesh:      noc.Mesh{Width: cfg.MeshWidth, Height: cfg.MeshHeight},
+		mcIndexOf: make(map[int]int),
+		coreClock: timing.NewClock(cfg.CoreClockNum, cfg.CoreClockDen),
+		memClock:  timing.NewClock(cfg.MemClockNum, cfg.MemClockDen),
+	}
+
+	if cfg.EdgeMCPlacement {
+		s.mcNodes = noc.EdgeMCPlacement(s.mesh, cfg.NumMC)
+	} else {
+		s.mcNodes = noc.DiamondMCPlacement(s.mesh, cfg.NumMC)
+	}
+	isMC := make(map[int]bool, len(s.mcNodes))
+	for i, n := range s.mcNodes {
+		isMC[n] = true
+		s.mcIndexOf[n] = i
+	}
+	for n := 0; n < s.mesh.Nodes(); n++ {
+		if !isMC[n] {
+			s.ccNodes = append(s.ccNodes, n)
+		}
+	}
+
+	if err := s.buildNetworks(); err != nil {
+		return nil, err
+	}
+	if err := s.buildNodes(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildNetworks wires the request mesh and the scheme's reply fabric.
+func (s *Simulator) buildNetworks() error {
+	cfg := s.cfg
+	routing := cfg.Scheme.Routing()
+
+	// Request network: never modified by any scheme (§4.2, §6.1).
+	reqCfg := noc.Config{
+		Mesh:        s.mesh,
+		VCs:         cfg.VCs,
+		LinkBits:    cfg.ReqLinkBits,
+		DataBytes:   cfg.DataBytes,
+		Routing:     routing,
+		NonAtomicVC: true,
+		EjectRate:   cfg.EjectRate,
+	}
+	reqNet, err := noc.NewNetwork(reqCfg)
+	if err != nil {
+		return fmt.Errorf("core: request network: %w", err)
+	}
+	s.reqNet = reqNet
+
+	// Reply network: per-MC-node injection architecture by scheme.
+	repCfg := noc.Config{
+		Mesh:         s.mesh,
+		VCs:          cfg.VCs,
+		LinkBits:     cfg.RepLinkBits,
+		DataBytes:    cfg.DataBytes,
+		Routing:      routing,
+		NonAtomicVC:  true,
+		NIQueueFlits: cfg.NIQueueFlits,
+		EjectRate:    cfg.EjectRate,
+	}
+	if cfg.Scheme.hasPriority() {
+		repCfg.PriorityLevels = cfg.PriorityLevels
+		repCfg.StarvationLimit = cfg.StarvationLimit
+	}
+	nodes := make([]noc.NodeConfig, s.mesh.Nodes())
+	speedup := cfg.InjSpeedup
+	if speedup <= 0 {
+		speedup = 4
+	}
+	for _, n := range s.mcNodes {
+		nc := &nodes[n]
+		if cfg.Scheme.hasSplitNI() {
+			nc.NI = noc.NISplit
+		}
+		if cfg.Scheme.hasSpeedup() {
+			nc.InjSpeedup = speedup
+		}
+		if cfg.Scheme.isMultiPort() {
+			nc.NI = noc.NIMultiPort
+			nc.InjPorts = cfg.MultiPortPorts
+		}
+		if cfg.UnenhancedBaseline && nc.NI == noc.NIBaseline {
+			nc.NI = noc.NINarrowLink
+		}
+	}
+	repCfg.Nodes = nodes
+
+	switch {
+	case cfg.IdealReply:
+		rep, err := noc.NewIdealFabric(repCfg)
+		if err != nil {
+			return fmt.Errorf("core: ideal reply fabric: %w", err)
+		}
+		s.repNet = rep
+	case cfg.Scheme.usesOverlay():
+		rep, err := noc.NewDA2Mesh(repCfg)
+		if err != nil {
+			return fmt.Errorf("core: reply overlay: %w", err)
+		}
+		s.repNet = rep
+	default:
+		rep, err := noc.NewNetwork(repCfg)
+		if err != nil {
+			return fmt.Errorf("core: reply network: %w", err)
+		}
+		for _, n := range s.mcNodes {
+			rep.MarkMCRouter(n)
+		}
+		s.repNet = rep
+	}
+	return nil
+}
+
+// buildNodes constructs the cores and memory controllers and installs the
+// traffic hooks.
+func (s *Simulator) buildNodes() error {
+	cfg := s.cfg
+
+	coreCfg := cfg.Core
+	coreCfg.WarpsPerCore = s.kernel.WarpsPerCore
+	workload := s.workload
+	if workload == nil {
+		gen, err := trace.NewGenerator(s.kernel, len(s.ccNodes), cfg.Seed)
+		if err != nil {
+			return err
+		}
+		workload = gen
+	}
+
+	s.cores = make([]*gpu.Core, len(s.ccNodes))
+	for i, node := range s.ccNodes {
+		idx, nd := i, node
+		send := func(txn *mem.Transaction) bool { return s.sendRequest(nd, txn) }
+		c, err := gpu.NewCore(idx, nd, coreCfg, workload, send)
+		if err != nil {
+			return err
+		}
+		s.cores[i] = c
+	}
+
+	s.mcs = make([]*mem.Controller, len(s.mcNodes))
+	for i, node := range s.mcNodes {
+		mc, err := mem.NewController(node, cfg.MC, s.repNet, cfg.RepLinkBits, cfg.DataBytes)
+		if err != nil {
+			return err
+		}
+		s.mcs[i] = mc
+	}
+
+	// Request network delivers to MCs, gated by their ingress space.
+	s.reqNet.SetEjectHandler(func(node int, pkt *noc.Packet, now int64) {
+		s.mcs[s.mcIndexOf[node]].Receive(pkt)
+	})
+	s.reqNet.SetSinkGate(func(node int) bool {
+		i, ok := s.mcIndexOf[node]
+		if !ok {
+			return true
+		}
+		return s.mcs[i].CanReceive()
+	})
+
+	// Reply fabric delivers to cores.
+	coreAt := make(map[int]*gpu.Core, len(s.cores))
+	for _, c := range s.cores {
+		coreAt[c.Node] = c
+	}
+	s.repNet.SetEjectHandler(func(node int, pkt *noc.Packet, now int64) {
+		txn, ok := pkt.Payload.(*mem.Transaction)
+		if !ok {
+			panic("core: reply packet without Transaction payload")
+		}
+		if c := coreAt[node]; c != nil {
+			c.ReceiveReply(txn)
+		}
+	})
+	return nil
+}
+
+// mcNodeFor maps a line address to its owning MC node (line interleaving
+// across MCs).
+func (s *Simulator) mcNodeFor(addr uint64) int {
+	line := addr / uint64(s.cfg.DataBytes)
+	return s.mcNodes[int(line%uint64(len(s.mcNodes)))]
+}
+
+// sendRequest builds and injects a request packet from a core's node.
+func (s *Simulator) sendRequest(node int, txn *mem.Transaction) bool {
+	typ := noc.ReadRequest
+	if txn.IsWrite {
+		typ = noc.WriteRequest
+	}
+	pkt := &noc.Packet{
+		Type:    typ,
+		Dst:     s.mcNodeFor(txn.Addr),
+		Size:    noc.PacketSize(typ, s.cfg.ReqLinkBits, s.cfg.DataBytes),
+		Payload: txn,
+	}
+	return s.reqNet.Inject(node, pkt)
+}
+
+// Step advances the whole system by one NoC cycle.
+func (s *Simulator) Step() {
+	coreTicks := s.coreClock.Tick()
+	for t := 0; t < coreTicks; t++ {
+		for _, c := range s.cores {
+			c.Tick()
+		}
+	}
+	if s.measuring {
+		s.coreCyclesMeasured += uint64(coreTicks)
+	}
+	memTicks := s.memClock.Tick()
+	for _, mc := range s.mcs {
+		mc.Tick(s.cycle, memTicks)
+	}
+	s.reqNet.Step()
+	s.repNet.Step()
+	s.cycle++
+}
+
+// Cycle returns the current NoC cycle.
+func (s *Simulator) Cycle() int64 { return s.cycle }
+
+// Cores exposes the compute nodes.
+func (s *Simulator) Cores() []*gpu.Core { return s.cores }
+
+// MCs exposes the memory controllers.
+func (s *Simulator) MCs() []*mem.Controller { return s.mcs }
+
+// RequestNet exposes the request network.
+func (s *Simulator) RequestNet() *noc.Network { return s.reqNet }
+
+// ReplyNet exposes the reply fabric.
+func (s *Simulator) ReplyNet() noc.Fabric { return s.repNet }
+
+// MCNodes returns the MC node ids.
+func (s *Simulator) MCNodes() []int { return s.mcNodes }
+
+// resetStats clears all measurement counters at the warmup boundary.
+func (s *Simulator) resetStats() {
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	for _, mc := range s.mcs {
+		mc.StallTime = 0
+		mc.BlockedCycle = 0
+		mc.RepliesSent = 0
+	}
+	s.reqNet.ResetStats()
+	s.repNet.ResetStats()
+	s.coreCyclesMeasured = 0
+}
+
+// Run executes warmup + a fixed-horizon measurement window and returns the
+// collected result.
+func (s *Simulator) Run() Result {
+	for s.cycle < s.cfg.WarmupCycles {
+		s.Step()
+	}
+	s.resetStats()
+	s.measuring = true
+	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	for s.cycle < end {
+		s.Step()
+	}
+	s.measuring = false
+	s.measuredCycles = s.cfg.MeasureCycles
+	return s.collect()
+}
+
+// RunWork executes warmup, then measures until the cores have retired
+// `instructions` warp-instructions in total (fixed-work mode: the basis the
+// paper's execution-time and energy comparisons use), bounded by maxCycles
+// as a runaway guard. The result's MeasuredCycles reflects the actual
+// window, so lower is faster for the same work.
+func (s *Simulator) RunWork(instructions uint64, maxCycles int64) Result {
+	for s.cycle < s.cfg.WarmupCycles {
+		s.Step()
+	}
+	s.resetStats()
+	s.measuring = true
+	start := s.cycle
+	for {
+		var done uint64
+		for _, c := range s.cores {
+			done += c.Instructions
+		}
+		if done >= instructions || s.cycle-start >= maxCycles {
+			break
+		}
+		s.Step()
+	}
+	s.measuring = false
+	s.measuredCycles = s.cycle - start
+	return s.collect()
+}

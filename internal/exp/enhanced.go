@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// EnhancedBaseline quantifies §4.1's methodological choice: the paper
+// replaces GPGPU-Sim's default narrow MC->NI link (a packet occupies it
+// for its whole serialisation time) with a wide link "to avoid giving
+// unfair advantage to our proposed design". This figure measures how much
+// of ARI's apparent gain would have come from that enhancement alone.
+func EnhancedBaseline(r *Runner) (*Figure, error) {
+	type variant struct {
+		label      string
+		scheme     core.Scheme
+		unenhanced bool
+	}
+	variants := []variant{
+		{"Default-Baseline", core.AdaBaseline, true},
+		{"Enhanced-Baseline", core.AdaBaseline, false},
+		// Consumption acceleration grafted onto the narrow MC->NI link:
+		// the supply path caps at one packet per serialisation time, so
+		// ARI's machinery has nothing to forward.
+		{"NarrowLink+Speedup", core.AccConsume, true},
+		{"Ada-ARI", core.AdaARI, false},
+	}
+	jobs := make([]Job, 0, len(variants)*len(r.Benchmarks))
+	for _, k := range r.Benchmarks {
+		for _, v := range variants {
+			cfg := r.withScheme(v.scheme)
+			cfg.UnenhancedBaseline = v.unenhanced
+			jobs = append(jobs, Job{Cfg: cfg, Kernel: k})
+		}
+	}
+	res, err := r.RunAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("benchmark", "Default-Base", "Enhanced-Base", "Narrow+Speedup", "Ada-ARI")
+	norm := make([][]float64, len(variants))
+	for i, k := range r.Benchmarks {
+		base := res[i*len(variants)].IPC
+		row := []string{k.Name}
+		for v := range variants {
+			x := safeDiv(res[i*len(variants)+v].IPC, base)
+			norm[v] = append(norm[v], x)
+			row = append(row, fmt.Sprintf("%.3f", x))
+		}
+		t.AddRow(row...)
+	}
+	gmRow := []string{"geomean"}
+	gm := make([]float64, len(variants))
+	for v := range variants {
+		gm[v] = stats.GeoMean(norm[v])
+		gmRow = append(gmRow, fmt.Sprintf("%.3f", gm[v]))
+	}
+	t.AddRow(gmRow...)
+	return &Figure{
+		ID:    "enhanced",
+		Title: "§4.1 ablation: default vs enhanced baseline vs ARI (IPC norm. to the default baseline)",
+		Paper: "the paper evaluates against the enhanced baseline so ARI's gain excludes the easy wide-link fix",
+		Table: t,
+		Summary: map[string]float64{
+			"enhancement_alone_gain":   gm[1] - 1,
+			"narrow_plus_speedup_gain": gm[2] - 1,
+			"ari_over_enhanced":        gm[3]/gm[1] - 1,
+		},
+	}, nil
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// tinyRunner returns a Runner over a 3-benchmark subset with very short
+// horizons, fast enough for unit tests.
+func tinyRunner(t *testing.T) *Runner {
+	t.Helper()
+	r := NewRunner()
+	r.Base.WarmupCycles = 200
+	r.Base.MeasureCycles = 600
+	var subset []trace.Kernel
+	for _, name := range []string{"bfs", "b+tree", "lavaMD"} {
+		k, err := trace.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subset = append(subset, k)
+	}
+	r.Benchmarks = subset
+	return r
+}
+
+func TestRunnerCachesResults(t *testing.T) {
+	r := tinyRunner(t)
+	cfg := r.withScheme(core.XYBaseline)
+	if _, err := r.Run(cfg, r.Benchmarks[0]); err != nil {
+		t.Fatal(err)
+	}
+	n := r.Runs()
+	if n != 1 {
+		t.Fatalf("runs = %d, want 1", n)
+	}
+	if _, err := r.Run(cfg, r.Benchmarks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs() != 1 {
+		t.Fatal("identical job re-simulated instead of cached")
+	}
+	cfg.Seed = 2
+	if _, err := r.Run(cfg, r.Benchmarks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs() != 2 {
+		t.Fatal("different config did not trigger a new run")
+	}
+}
+
+func TestRunAllPreservesJobOrder(t *testing.T) {
+	r := tinyRunner(t)
+	jobs := []Job{
+		{Cfg: r.withScheme(core.XYBaseline), Kernel: r.Benchmarks[1]},
+		{Cfg: r.withScheme(core.XYBaseline), Kernel: r.Benchmarks[0]},
+		{Cfg: r.withScheme(core.AdaARI), Kernel: r.Benchmarks[0]},
+	}
+	res, err := r.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Benchmark != r.Benchmarks[1].Name || res[1].Benchmark != r.Benchmarks[0].Name {
+		t.Fatalf("results out of order: %s, %s", res[0].Benchmark, res[1].Benchmark)
+	}
+	if res[2].Scheme != core.AdaARI {
+		t.Fatalf("scheme mismatch: %v", res[2].Scheme)
+	}
+}
+
+func TestFiguresGenerate(t *testing.T) {
+	// Every registered figure must generate without error on the tiny
+	// runner and produce a printable body. Shared runs must be reused via
+	// the cache (the scheme matrix figures reuse each other's runs).
+	r := tinyRunner(t)
+	for _, e := range Registry() {
+		f, err := e.Gen(r)
+		if err != nil {
+			t.Fatalf("figure %s: %v", e.ID, err)
+		}
+		out := f.String()
+		if !strings.Contains(out, f.ID) {
+			t.Fatalf("figure %s output missing its id:\n%s", e.ID, out)
+		}
+		if f.Table == nil && len(f.Summary) == 0 {
+			t.Fatalf("figure %s has neither table nor summary", e.ID)
+		}
+	}
+	// Figs 3/5/util share XYBaseline runs; 11/12/13 share the scheme
+	// matrix: the total distinct-run count must be well below the naive
+	// job count (cache effectiveness).
+	if r.Runs() > 260 {
+		t.Fatalf("cache ineffective: %d distinct runs", r.Runs())
+	}
+}
+
+func TestGenerateUnknownFigure(t *testing.T) {
+	if _, err := Generate(tinyRunner(t), "nope"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFig11Summary(t *testing.T) {
+	r := tinyRunner(t)
+	f, err := Fig11(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"xy_ari_gain", "ada_ari_gain", "multiport_gain"} {
+		if _, ok := f.Summary[key]; !ok {
+			t.Fatalf("Fig 11 summary missing %q", key)
+		}
+	}
+	// Even at tiny horizons ARI must not lose to baseline on this subset.
+	if f.Summary["ada_ari_gain"] < 0 {
+		t.Fatalf("ada_ari_gain negative: %v", f.Summary["ada_ari_gain"])
+	}
+}
+
+func TestAreaFigureNoSimulation(t *testing.T) {
+	r := tinyRunner(t)
+	if _, err := AreaOverhead(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs() != 0 {
+		t.Fatal("area figure ran simulations")
+	}
+}

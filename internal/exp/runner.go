@@ -1,0 +1,193 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Figs 3-6, 9-16, the §3 link-utilisation
+// analysis, the §6.1 area overheads and the §7.5 scalability study) from
+// the simulator, printing the same rows/series the paper reports.
+//
+// Runs are cached by (config, benchmark) and executed on a worker pool, so
+// figures that share underlying simulations (e.g. Figs 3/5/11/12/13 all use
+// the main 30-benchmark scheme matrix) pay for them once.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Runner executes simulations with memoisation and bounded parallelism.
+type Runner struct {
+	// Base is the configuration template; figure code overrides fields.
+	Base core.Config
+	// Benchmarks is the evaluated suite (defaults to trace.Suite()).
+	Benchmarks []trace.Kernel
+	// Workers bounds parallel simulations (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	mu    sync.Mutex
+	cache map[runKey]core.Result
+	runs  int
+}
+
+type runKey struct {
+	cfg   core.Config
+	bench string
+}
+
+// NewRunner returns a Runner over the full suite with Table I defaults and
+// harness-appropriate horizons.
+func NewRunner() *Runner {
+	cfg := core.DefaultConfig()
+	cfg.WarmupCycles = 3000
+	cfg.MeasureCycles = 10000
+	return &Runner{Base: cfg, Benchmarks: trace.Suite()}
+}
+
+// Job is one simulation request.
+type Job struct {
+	Cfg    core.Config
+	Kernel trace.Kernel
+}
+
+// Runs returns the number of distinct simulations executed so far.
+func (r *Runner) Runs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
+}
+
+// Run executes (or recalls) one simulation.
+func (r *Runner) Run(cfg core.Config, k trace.Kernel) (core.Result, error) {
+	results, err := r.RunAll([]Job{{Cfg: cfg, Kernel: k}})
+	if err != nil {
+		return core.Result{}, err
+	}
+	return results[0], nil
+}
+
+// RunAll executes the jobs (deduplicated against the cache) on the worker
+// pool and returns results in job order.
+func (r *Runner) RunAll(jobs []Job) ([]core.Result, error) {
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[runKey]core.Result)
+	}
+	// Collect the distinct keys that still need simulating.
+	need := make(map[runKey]Job)
+	for _, j := range jobs {
+		k := runKey{cfg: j.Cfg, bench: j.Kernel.Name}
+		if _, ok := r.cache[k]; !ok {
+			need[k] = j
+		}
+	}
+	r.mu.Unlock()
+
+	if len(need) > 0 {
+		keys := make([]runKey, 0, len(need))
+		for k := range need {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].bench != keys[j].bench {
+				return keys[i].bench < keys[j].bench
+			}
+			return fmt.Sprint(keys[i].cfg) < fmt.Sprint(keys[j].cfg)
+		})
+
+		workers := r.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(keys) {
+			workers = len(keys)
+		}
+		var wg sync.WaitGroup
+		ch := make(chan runKey)
+		errCh := make(chan error, len(keys))
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range ch {
+					res, err := r.simulate(need[k])
+					if err != nil {
+						errCh <- err
+						continue
+					}
+					r.mu.Lock()
+					r.cache[k] = res
+					r.runs++
+					n := r.runs
+					r.mu.Unlock()
+					if r.Progress != nil {
+						fmt.Fprintf(r.Progress, "run %3d: %-16s %-20s IPC=%.3f\n",
+							n, k.bench, res.Scheme, res.IPC)
+					}
+				}
+			}()
+		}
+		for _, k := range keys {
+			ch <- k
+		}
+		close(ch)
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]core.Result, len(jobs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, j := range jobs {
+		res, ok := r.cache[runKey{cfg: j.Cfg, bench: j.Kernel.Name}]
+		if !ok {
+			return nil, fmt.Errorf("exp: missing result for %s", j.Kernel.Name)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// simulate executes one uncached run.
+func (r *Runner) simulate(j Job) (core.Result, error) {
+	sim, err := core.NewSimulator(j.Cfg, j.Kernel)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("exp: %s/%s: %w", j.Kernel.Name, j.Cfg.Scheme, err)
+	}
+	return sim.Run(), nil
+}
+
+// withScheme returns the base config with the scheme set.
+func (r *Runner) withScheme(s core.Scheme) core.Config {
+	cfg := r.Base
+	cfg.Scheme = s
+	return cfg
+}
+
+// schemeMatrix runs every benchmark under every scheme and returns
+// results[benchIdx][schemeIdx].
+func (r *Runner) schemeMatrix(schemes []core.Scheme) ([][]core.Result, error) {
+	jobs := make([]Job, 0, len(r.Benchmarks)*len(schemes))
+	for _, k := range r.Benchmarks {
+		for _, s := range schemes {
+			jobs = append(jobs, Job{Cfg: r.withScheme(s), Kernel: k})
+		}
+	}
+	flat, err := r.RunAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]core.Result, len(r.Benchmarks))
+	for i := range r.Benchmarks {
+		out[i] = flat[i*len(schemes) : (i+1)*len(schemes)]
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package mem
+
+import "testing"
+
+func BenchmarkDRAMTickStreaming(b *testing.B) {
+	d := NewDRAM(DefaultDRAMConfig())
+	var out []*Transaction
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.CanAccept() {
+			d.Enqueue(&Transaction{ID: uint64(i) + 1, Addr: uint64(i) * 128}, false)
+		}
+		d.Tick()
+		out = d.TakeCompleted(out[:0], nil)
+	}
+}
+
+func BenchmarkControllerTick(b *testing.B) {
+	fab := &stubFabric{}
+	mc, err := NewController(0, DefaultMCConfig(), fab, 128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mc.CanReceive() {
+			mc.Receive(reqPacket(&Transaction{ID: uint64(i) + 1, Addr: uint64(i) * 512, SrcNode: 1}))
+		}
+		mc.Tick(int64(i), 2)
+	}
+}

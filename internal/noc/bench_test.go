@@ -1,0 +1,72 @@
+package noc
+
+import "testing"
+
+// benchNet builds a loaded 6x6 reply-like network for stepping benchmarks.
+func benchNet(b *testing.B, ari bool) *Network {
+	b.Helper()
+	mesh := Mesh{Width: 6, Height: 6}
+	cfg := Config{
+		Mesh:        mesh,
+		VCs:         4,
+		LinkBits:    128,
+		DataBytes:   128,
+		Routing:     RouteMinAdaptive,
+		NonAtomicVC: true,
+	}
+	if ari {
+		cfg.Nodes = make([]NodeConfig, mesh.Nodes())
+		for _, n := range DiamondMCPlacement(mesh, 8) {
+			cfg.Nodes[n] = NodeConfig{NI: NISplit, InjSpeedup: 4}
+		}
+		cfg.PriorityLevels = 2
+	}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetEjectHandler(func(int, *Packet, int64) {})
+	return n
+}
+
+// stepLoaded drives the network at a steady few-to-many load per iteration.
+func stepLoaded(b *testing.B, n *Network) {
+	mcs := DiamondMCPlacement(n.Config().Mesh, 8)
+	seed := uint64(1)
+	next := func(mod int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % mod
+	}
+	cfg := n.Config()
+	long := cfg.LongPacketFlits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc := mcs[i%len(mcs)]
+		n.Inject(mc, &Packet{Type: ReadReply, Dst: next(36), Size: long})
+		n.Step()
+	}
+}
+
+func BenchmarkNetworkStepBaseline(b *testing.B) { stepLoaded(b, benchNet(b, false)) }
+func BenchmarkNetworkStepARI(b *testing.B)      { stepLoaded(b, benchNet(b, true)) }
+
+func BenchmarkRouteCompute(b *testing.B) {
+	m := Mesh{Width: 8, Height: 8}
+	var scratch []routeCandidate
+	for i := 0; i < b.N; i++ {
+		scratch = computeRoute(m, RouteMinAdaptive, i%64, (i*7)%64, 4, scratch[:0])
+	}
+}
+
+func BenchmarkFlitQueue(b *testing.B) {
+	q := newFlitQueue(9)
+	pkt := &Packet{Size: 9}
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 9; s++ {
+			q.push(flit{pkt: pkt, seq: s})
+		}
+		for s := 0; s < 9; s++ {
+			q.pop()
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package noc
+
+// ejector is the ejection side of a node's network interface: per-VC
+// reassembly buffers drained at a fixed flit rate. Completed packets are
+// delivered to the network's ejection handler; every drained flit returns a
+// credit to the router's ejection output port.
+type ejector struct {
+	net  *Network
+	node int
+	vcs  []*flitQueue
+	// arrivals staged by the router's ST this cycle.
+	arrivals []stagedFlit
+	rr       *roundRobin
+	rate     int
+	// backOut is the router output port whose credits track this ejector's
+	// buffer space.
+	backOut *outputPort
+}
+
+func newEjector(net *Network, node int, backOut *outputPort) *ejector {
+	cfg := &net.cfg
+	e := &ejector{
+		net:     net,
+		node:    node,
+		vcs:     make([]*flitQueue, cfg.VCs),
+		rr:      newRoundRobin(cfg.VCs),
+		rate:    cfg.EjectRate,
+		backOut: backOut,
+	}
+	for v := range e.vcs {
+		e.vcs[v] = newFlitQueue(cfg.VCDepth)
+	}
+	return e
+}
+
+func (e *ejector) applyArrivals(now int64) {
+	kept := e.arrivals[:0]
+	for _, sf := range e.arrivals {
+		if sf.deliverAt <= now {
+			e.vcs[sf.vc].push(sf.f)
+		} else {
+			kept = append(kept, sf)
+		}
+	}
+	e.arrivals = kept
+}
+
+// consume drains up to rate flits this cycle, round-robin across VCs, and
+// delivers packets whose tail flit has drained. A closed sink gate (node
+// ingress full) stops ejection entirely, backing traffic into the network.
+func (e *ejector) consume(now int64) {
+	if g := e.net.sinkGate; g != nil && !g(e.node) {
+		return
+	}
+	for k := 0; k < e.rate; k++ {
+		v := e.rr.pick(func(i int) bool { return !e.vcs[i].empty() })
+		if v < 0 {
+			return
+		}
+		f := e.vcs[v].pop()
+		e.backOut.creditIn[v]++
+		e.net.stats.EjectFlits++
+		if f.isTail() {
+			e.net.stats.recordEject(f.pkt, now)
+			e.net.inFlight--
+			if h := e.net.ejectHandler; h != nil {
+				h(e.node, f.pkt, now)
+			}
+		}
+	}
+}
+
+func (e *ejector) busy() bool {
+	if len(e.arrivals) > 0 {
+		return true
+	}
+	for _, q := range e.vcs {
+		if !q.empty() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,287 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// statsTimeWeightedAt restarts an NI occupancy tracker mid-run.
+func statsTimeWeightedAt(level float64, now int64) stats.TimeWeighted {
+	return stats.NewTimeWeightedAt(level, now)
+}
+
+// Fabric is the interface between node logic and an interconnect; the mesh
+// Network and the DA2mesh overlay both implement it.
+type Fabric interface {
+	// CanInject reports whether Inject(node, pkt) would succeed this cycle.
+	CanInject(node int, pkt *Packet) bool
+	// Inject hands a whole packet to node's NI; false means the node must
+	// stall and retry.
+	Inject(node int, pkt *Packet) bool
+	// Step advances the fabric by one NoC cycle.
+	Step()
+	// Now returns the fabric's current cycle.
+	Now() int64
+	// SetEjectHandler installs the packet-delivery callback.
+	SetEjectHandler(h func(node int, pkt *Packet, now int64))
+	// InFlight returns packets accepted but not yet delivered.
+	InFlight() int
+	// Stats returns the fabric's statistics (finalised occupancy included).
+	Stats() *NetStats
+}
+
+// Network is a cycle-accurate 2D-mesh NoC.
+type Network struct {
+	cfg      Config
+	routers  []*router
+	ejectors []*ejector
+	nis      []*NI
+
+	now          int64
+	inFlight     int
+	nextPktID    uint64
+	stats        NetStats
+	ejectHandler func(node int, pkt *Packet, now int64)
+	// sinkGate, when set, lets a node refuse ejection this cycle (e.g. a
+	// memory controller whose request ingress is full); the refusal backs
+	// flits up into the network — the §3 backpressure chain.
+	sinkGate func(node int) bool
+
+	// injWindow tracks packets injected in the current 100-cycle window,
+	// to expose the peak packet injection rate used by eq. (1)'s speedup
+	// sizing (§4.2).
+	injWindowCount uint32
+	injWindowStart int64
+	InjWindows     []uint32
+}
+
+var _ Fabric = (*Network)(nil)
+
+// NewNetwork builds a network from cfg (validated first).
+func NewNetwork(cfg Config) (*Network, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg}
+	nodes := cfg.Mesh.Nodes()
+	n.routers = make([]*router, nodes)
+	n.ejectors = make([]*ejector, nodes)
+	n.nis = make([]*NI, nodes)
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = newRouter(n, id)
+	}
+	// Wire mesh links and local ports.
+	meshLinks := 0
+	for id, r := range n.routers {
+		for d := Direction(0); d < Direction(NumDirections); d++ {
+			nb := cfg.Mesh.Neighbor(id, d)
+			if nb < 0 {
+				continue
+			}
+			// Output port d of this router feeds input port opposite(d) of
+			// the neighbour.
+			dst := n.routers[nb].in[int(d.opposite())]
+			r.out[int(d)].destPort = dst
+			dst.upstream = r.out[int(d)]
+			meshLinks++
+		}
+		e := newEjector(n, id, r.out[ejectPortIndex])
+		r.out[ejectPortIndex].eject = e
+		n.ejectors[id] = e
+		n.nis[id] = newNI(n, id, r)
+	}
+	n.stats.MeshLinks = meshLinks
+	injLinks := 0
+	for _, ni := range n.nis {
+		if ni.mode == NISplit {
+			injLinks += cfg.VCs
+		} else {
+			injLinks += len(ni.ports)
+		}
+	}
+	n.stats.InjLinks = injLinks
+	return n, nil
+}
+
+// Config returns the validated configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// SetEjectHandler installs the packet-delivery callback.
+func (n *Network) SetEjectHandler(h func(node int, pkt *Packet, now int64)) {
+	n.ejectHandler = h
+}
+
+// MarkMCRouter tags a node's router as an MC-router (stats/diagnostics).
+func (n *Network) MarkMCRouter(node int) { n.routers[node].isMC = true }
+
+// SetSinkGate installs the per-node ejection readiness check.
+func (n *Network) SetSinkGate(g func(node int) bool) { n.sinkGate = g }
+
+// ResetStats clears measurement counters (end of warmup) while preserving
+// structural fields and all in-flight state.
+func (n *Network) ResetStats() {
+	meshLinks, injLinks := n.stats.MeshLinks, n.stats.InjLinks
+	n.stats = NetStats{MeshLinks: meshLinks, InjLinks: injLinks}
+	n.InjWindows = n.InjWindows[:0]
+	n.injWindowCount = 0
+	n.injWindowStart = n.now
+	for _, ni := range n.nis {
+		ni.occupancy = statsTimeWeightedAt(float64(ni.totalQueuedFlits), n.now)
+		ni.everHeld = ni.totalQueuedFlits > 0
+		ni.rejectedOfferEvents = 0
+		ni.injectedFlits = 0
+	}
+	for _, r := range n.routers {
+		for _, op := range r.out {
+			op.flits = 0
+		}
+	}
+}
+
+// CanInject reports whether node's NI can accept pkt this cycle.
+func (n *Network) CanInject(node int, pkt *Packet) bool {
+	return n.nis[node].CanAccept(pkt, n.now)
+}
+
+// Inject hands pkt to node's NI. pkt.Size must already be set (use
+// PacketSize); pkt.Src is overwritten with node.
+func (n *Network) Inject(node int, pkt *Packet) bool {
+	if pkt.Size <= 0 {
+		panic("noc: packet has no size; use PacketSize")
+	}
+	if pkt.Dst < 0 || pkt.Dst >= n.cfg.Mesh.Nodes() {
+		panic(fmt.Sprintf("noc: destination %d out of range", pkt.Dst))
+	}
+	pkt.Src = node
+	if pkt.ID == 0 {
+		n.nextPktID++
+		pkt.ID = n.nextPktID
+	}
+	ok := n.nis[node].Offer(pkt, n.now)
+	if ok {
+		n.injWindowCount++
+	}
+	return ok
+}
+
+// Step advances the network one cycle: arrivals/credits land, NIs supply
+// flits, routers run RC/VA/SA/ST, ejectors drain.
+func (n *Network) Step() {
+	for _, r := range n.routers {
+		r.applyArrivals(n.now)
+	}
+	for _, e := range n.ejectors {
+		e.applyArrivals(n.now)
+	}
+	for _, ni := range n.nis {
+		ni.step(n.now)
+	}
+	for _, r := range n.routers {
+		r.routeCompute(n.now)
+	}
+	for _, r := range n.routers {
+		r.vcAllocate()
+	}
+	for _, r := range n.routers {
+		r.switchAllocate(n.now)
+	}
+	for _, e := range n.ejectors {
+		e.consume(n.now)
+	}
+	n.now++
+	n.stats.Cycles++
+	if n.now-n.injWindowStart >= 100 {
+		n.InjWindows = append(n.InjWindows, n.injWindowCount)
+		n.injWindowCount = 0
+		n.injWindowStart = n.now
+	}
+}
+
+// InFlight returns packets accepted but not yet delivered.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Idle reports whether no flit exists anywhere in the network.
+func (n *Network) Idle() bool {
+	if n.inFlight != 0 {
+		return false
+	}
+	for _, ni := range n.nis {
+		if ni.pendingFlits() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns the network statistics.
+func (n *Network) Stats() *NetStats { return &n.stats }
+
+// NIOccupancyAvgFlits returns the mean time-weighted NI queue occupancy in
+// flits over all NIs that injected traffic.
+func (n *Network) NIOccupancyAvgFlits() float64 {
+	var sum float64
+	var cnt int
+	for _, ni := range n.nis {
+		if !ni.everHeld {
+			continue
+		}
+		sum += ni.OccupancyAvg(n.now)
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// NIQueueCapacityFlits returns the configured NI capacity of node.
+func (n *Network) NIQueueCapacityFlits(node int) int {
+	return n.nis[node].QueueCapacityFlits()
+}
+
+// LinkLoad reports per-node, per-direction flit counts over the run: a
+// utilisation heatmap of the mesh (the ejection "direction" is index 4).
+// Divide by Stats().Cycles for flits/cycle.
+func (n *Network) LinkLoad() [][]uint64 {
+	out := make([][]uint64, len(n.routers))
+	for id, r := range n.routers {
+		row := make([]uint64, numOutPorts)
+		for o, op := range r.out {
+			row[o] = op.flits
+		}
+		out[id] = row
+	}
+	return out
+}
+
+// NILoad reports per-node injection-link flit counts.
+func (n *Network) NILoad() []uint64 {
+	out := make([]uint64, len(n.nis))
+	for id, ni := range n.nis {
+		out[id] = ni.injectedFlits
+	}
+	return out
+}
+
+// PeakInjWindow returns the p-th percentile (0..100) of per-100-cycle
+// packet injection counts, the measurement behind eq. (1) (§4.2 sizes S so
+// that 95% of peak windows are satisfied).
+func (n *Network) PeakInjWindow(p float64) float64 {
+	if len(n.InjWindows) == 0 {
+		return 0
+	}
+	sorted := make([]uint32, len(n.InjWindows))
+	copy(sorted, n.InjWindows)
+	for i := 1; i < len(sorted); i++ { // insertion sort: windows are few
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return float64(sorted[idx])
+}

@@ -1,0 +1,48 @@
+package noc
+
+import "testing"
+
+// TestPipelineDepthIncreasesLatency: a deeper router pipeline must add
+// exactly (stages-1) cycles per hop for an uncontended packet.
+func TestPipelineDepthIncreasesLatency(t *testing.T) {
+	latency := func(stages int) int64 {
+		n := newTestNet(t, func(c *Config) { c.PipelineStages = stages })
+		var lat int64
+		n.SetEjectHandler(func(node int, pkt *Packet, now int64) {
+			lat = pkt.EjectedAt - pkt.InjectedAt
+		})
+		pkt := mkPacket(n.Config(), ReadRequest, 3) // 3 hops along row 0
+		if !n.Inject(0, pkt) {
+			t.Fatal("inject failed")
+		}
+		runUntilIdle(t, n, 2000)
+		return lat
+	}
+	l1 := latency(1)
+	l3 := latency(3)
+	// 3 router traversals (nodes 0,1,2) plus the ejection-side traversal at
+	// node 3: 4 pipeline passes, each 2 cycles deeper.
+	if l3-l1 != 4*2 {
+		t.Fatalf("pipeline depth delta = %d cycles, want 8 (l1=%d l3=%d)", l3-l1, l1, l3)
+	}
+}
+
+// TestPipelineInvariantsHold: the credit/ownership invariants must hold at
+// every depth under random traffic.
+func TestPipelineInvariantsHold(t *testing.T) {
+	for _, stages := range []int{2, 4} {
+		stages := stages
+		runChecked(t, func(c *Config) {
+			c.PipelineStages = stages
+			c.Routing = RouteMinAdaptive
+		}, 800, uint64(10+stages))
+	}
+}
+
+// TestPipelineDepthValidated: out-of-range depths are rejected.
+func TestPipelineDepthValidated(t *testing.T) {
+	cfg := Config{Mesh: Mesh{Width: 4, Height: 4}, VCs: 4, LinkBits: 128, DataBytes: 128, PipelineStages: 9}
+	if _, err := cfg.Validate(); err == nil {
+		t.Fatal("pipeline depth 9 accepted")
+	}
+}

@@ -1,0 +1,434 @@
+package noc
+
+// ejectPortIndex is the output-port index of the local ejection port; mesh
+// output ports use Direction values 0..3.
+const ejectPortIndex = NumDirections
+
+// numOutPorts is the number of output ports of every router (4 mesh + 1
+// ejection). Injection only adds input ports.
+const numOutPorts = NumDirections + 1
+
+// vcState is the input-VC state machine: idle (no packet at the front),
+// waitVC (route computed, waiting for a downstream VC), active (downstream
+// VC held, flits flowing).
+type vcState uint8
+
+const (
+	vcIdle vcState = iota
+	vcWaitVC
+	vcActive
+)
+
+// inputVC is one virtual channel of a router input port.
+type inputVC struct {
+	port      *inputPort
+	vcIdx     int // index within the port
+	globalIdx int // index within router.allVCs
+
+	buf   *flitQueue
+	state vcState
+
+	cands   []routeCandidate
+	outPort int
+	outVC   int
+	// effPrio is the packet priority captured at route computation, before
+	// the per-hop decrement (§5): the value the packet carried on arrival.
+	effPrio int
+	// waitSince is when the head flit last became eligible without being
+	// served; it drives the starvation guard.
+	waitSince int64
+}
+
+// stagedFlit is a flit in flight on a link or in the router pipeline,
+// delivered into the target buffer at the start of cycle deliverAt.
+type stagedFlit struct {
+	f         flit
+	vc        int
+	deliverAt int64
+}
+
+// inputPort is a router input port: either one of the four mesh ports or an
+// injection port fed by the node's NI.
+type inputPort struct {
+	router *router
+	index  int // input-port index within the router
+	vcs    []*inputVC
+
+	// arrivals staged by the upstream ST (or the NI) this cycle, applied at
+	// the start of the next cycle.
+	arrivals []stagedFlit
+
+	isInjection bool
+	injIndex    int // which injection port of the node (MultiPort)
+
+	// upstream is the neighbouring router's output port feeding this port
+	// (nil for injection ports, whose credits return to the NI).
+	upstream *outputPort
+	ni       *NI
+
+	// spIDs are the switch-port ids owned by this port (1 for mesh ports,
+	// InjSpeedup for injection ports).
+	spIDs []int
+}
+
+// outVCState tracks one downstream virtual channel from the sender's side.
+type outVCState struct {
+	credits int
+	// owner is the globalIdx of the input VC currently forwarding a packet
+	// into this downstream VC, or -1.
+	owner int
+}
+
+// outputPort is a router output port: a mesh link to a neighbour or the
+// local ejection port.
+type outputPort struct {
+	router *router
+	index  int
+	vcs    []outVCState
+	// creditIn stages credits returned by the downstream consumer this
+	// cycle, applied at the start of the next cycle.
+	creditIn []int
+
+	// Exactly one of destPort (mesh) or eject (local) is non-nil.
+	destPort *inputPort
+	eject    *ejector
+
+	// flits counts traversals onto this output's link (observability).
+	flits uint64
+}
+
+// router is a virtual-channel wormhole router with a single-cycle
+// RC/VA/SA/ST pipeline and 1-cycle links, per-injection-port crossbar
+// speedup and optional priority-aware switch allocation.
+type router struct {
+	net    *Network
+	id     int
+	isMC   bool // tagged by the caller for stats / scheme logic
+	in     []*inputPort
+	out    []*outputPort
+	allVCs []*inputVC
+
+	// Switch: spVCs[sp] lists the globalIdx of VCs multiplexed onto
+	// switch-port sp; spArb arbitrates among them (SA stage 1); outArb[o]
+	// arbitrates among switch-ports for output o (SA stage 2).
+	spVCs     [][]int
+	spArb     []*roundRobin
+	outArb    []*roundRobin
+	spWinner  []int // per switch-port: winning globalIdx this cycle, or -1
+	rrVA      int
+	candBuf   []routeCandidate
+	prioArbOn bool
+}
+
+func newRouter(net *Network, id int) *router {
+	cfg := &net.cfg
+	nc := cfg.node(id)
+	r := &router{
+		net:       net,
+		id:        id,
+		prioArbOn: cfg.PriorityLevels >= 2,
+	}
+
+	numIn := NumDirections + nc.injPorts()
+	r.in = make([]*inputPort, numIn)
+	spID := 0
+	for p := 0; p < numIn; p++ {
+		ip := &inputPort{router: r, index: p}
+		if p >= NumDirections {
+			ip.isInjection = true
+			ip.injIndex = p - NumDirections
+		}
+		spCount := 1
+		if ip.isInjection {
+			spCount = nc.injSpeedup(cfg.VCs)
+		}
+		for k := 0; k < spCount; k++ {
+			ip.spIDs = append(ip.spIDs, spID)
+			spID++
+		}
+		ip.vcs = make([]*inputVC, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			vc := &inputVC{
+				port:      ip,
+				vcIdx:     v,
+				globalIdx: len(r.allVCs),
+				buf:       newFlitQueue(cfg.VCDepth),
+				outPort:   -1,
+				outVC:     -1,
+			}
+			ip.vcs[v] = vc
+			r.allVCs = append(r.allVCs, vc)
+		}
+		r.in[p] = ip
+	}
+
+	// Switch-port -> VC mapping: VC v of a port with s switch-ports is
+	// demultiplexed onto the port's switch-port v mod s (§4.2, Fig 8).
+	r.spVCs = make([][]int, spID)
+	for _, ip := range r.in {
+		s := len(ip.spIDs)
+		for _, vc := range ip.vcs {
+			sp := ip.spIDs[vc.vcIdx%s]
+			r.spVCs[sp] = append(r.spVCs[sp], vc.globalIdx)
+		}
+	}
+	r.spArb = make([]*roundRobin, spID)
+	for sp := range r.spArb {
+		r.spArb[sp] = newRoundRobin(len(r.spVCs[sp]))
+	}
+	r.spWinner = make([]int, spID)
+
+	r.out = make([]*outputPort, numOutPorts)
+	r.outArb = make([]*roundRobin, numOutPorts)
+	for o := 0; o < numOutPorts; o++ {
+		op := &outputPort{
+			router:   r,
+			index:    o,
+			vcs:      make([]outVCState, cfg.VCs),
+			creditIn: make([]int, cfg.VCs),
+		}
+		for v := range op.vcs {
+			op.vcs[v] = outVCState{credits: cfg.VCDepth, owner: -1}
+		}
+		r.out[o] = op
+		r.outArb[o] = newRoundRobin(spID)
+	}
+	return r
+}
+
+// applyArrivals moves due link-staged flits into VC buffers and applies
+// staged credits (phase 1 of the cycle).
+func (r *router) applyArrivals(now int64) {
+	for _, ip := range r.in {
+		kept := ip.arrivals[:0]
+		for _, sf := range ip.arrivals {
+			if sf.deliverAt <= now {
+				ip.vcs[sf.vc].buf.push(sf.f)
+			} else {
+				kept = append(kept, sf)
+			}
+		}
+		ip.arrivals = kept
+	}
+	for _, op := range r.out {
+		for v := range op.creditIn {
+			if op.creditIn[v] != 0 {
+				op.vcs[v].credits += op.creditIn[v]
+				op.creditIn[v] = 0
+			}
+		}
+	}
+}
+
+// routeCompute runs RC for every idle VC with a buffered head flit: it
+// computes the admissible candidates, captures the arrival priority, and
+// performs the per-hop priority decrement (§5).
+func (r *router) routeCompute(now int64) {
+	for _, vc := range r.allVCs {
+		if vc.state != vcIdle || vc.buf.empty() {
+			continue
+		}
+		f := vc.buf.front()
+		if !f.isHead() {
+			panic("noc: non-head flit at front of idle VC")
+		}
+		pkt := f.pkt
+		vc.cands = computeRoute(r.net.cfg.Mesh, r.net.cfg.Routing, r.id, pkt.Dst, r.net.cfg.VCs, vc.cands)
+		vc.effPrio = pkt.Priority
+		if pkt.Priority > 0 {
+			pkt.Priority--
+		}
+		vc.state = vcWaitVC
+		vc.waitSince = now
+	}
+}
+
+// vcAllocate runs separable input-first VC allocation: waiting VCs claim a
+// free downstream VC among their route candidates, scanned in rotating
+// order for fairness. With ARI prioritisation enabled, higher-priority
+// waiters (freshly injected packets at MC-routers, §5) are served first so
+// they exit the hot region quickly.
+func (r *router) vcAllocate() {
+	r.vcAllocatePass(func(vc *inputVC) bool { return true })
+	if n := len(r.allVCs); n > 0 {
+		r.rrVA = (r.rrVA + 1) % n
+	}
+}
+
+// vcAllocatePass attempts allocation for waiting VCs accepted by sel.
+func (r *router) vcAllocatePass(sel func(*inputVC) bool) {
+	n := len(r.allVCs)
+	for k := 0; k < n; k++ {
+		vc := r.allVCs[(r.rrVA+k)%n]
+		if vc.state != vcWaitVC || !sel(vc) {
+			continue
+		}
+		pkt := vc.buf.front().pkt
+		bestPort, bestVC, bestCredits := -1, -1, -1
+		for _, cand := range vc.cands {
+			op := r.out[cand.port]
+			if cand.port != ejectPortIndex && op.destPort == nil {
+				continue // mesh edge: no link in that direction
+			}
+			for v := len(op.vcs) - 1; v >= 0; v-- {
+				if cand.vcMask&(1<<uint(v)) == 0 {
+					continue
+				}
+				ov := &op.vcs[v]
+				if !r.vcEligible(pkt, ov) {
+					continue
+				}
+				// Prefer the candidate with the most downstream credits
+				// (local congestion awareness); scanning VCs downward makes
+				// ties prefer adaptive VCs over the escape VC.
+				if ov.credits > bestCredits {
+					bestPort, bestVC, bestCredits = cand.port, v, ov.credits
+				}
+			}
+		}
+		if bestPort >= 0 {
+			r.out[bestPort].vcs[bestVC].owner = vc.globalIdx
+			vc.outPort, vc.outVC = bestPort, bestVC
+			vc.state = vcActive
+		}
+	}
+}
+
+// vcEligible applies the buffer-allocation policy: atomic allocation needs
+// a completely empty downstream VC; non-atomic (WPF [28]) only needs space
+// for the whole packet.
+func (r *router) vcEligible(pkt *Packet, ov *outVCState) bool {
+	if ov.owner != -1 {
+		return false
+	}
+	if r.net.cfg.NonAtomicVC {
+		return ov.credits >= pkt.Size
+	}
+	return ov.credits == r.net.cfg.VCDepth
+}
+
+// starvationActive reports whether any non-injection input VC has been
+// waiting longer than the starvation threshold, in which case injection
+// priority is suppressed this cycle (§5).
+func (r *router) starvationActive(now int64) bool {
+	limit := r.net.cfg.StarvationLimit
+	for _, vc := range r.allVCs {
+		if vc.port.isInjection {
+			continue
+		}
+		if vc.state != vcIdle && now-vc.waitSince > limit {
+			return true
+		}
+	}
+	return false
+}
+
+// switchAllocate runs separable input-first switch allocation and performs
+// the winning switch/link traversals (SA + ST + LT).
+func (r *router) switchAllocate(now int64) {
+	starved := r.prioArbOn && r.starvationActive(now)
+
+	// Stage 1: each switch-port picks among its eligible VCs.
+	for sp := range r.spVCs {
+		vcsOfSP := r.spVCs[sp]
+		w := r.spArb[sp].pick(func(j int) bool {
+			return r.saEligible(r.allVCs[vcsOfSP[j]])
+		})
+		if w < 0 {
+			r.spWinner[sp] = -1
+		} else {
+			r.spWinner[sp] = vcsOfSP[w]
+		}
+	}
+
+	// Stage 2: each output port grants one requesting switch-port;
+	// priority-aware when ARI prioritisation is enabled.
+	for o, op := range r.out {
+		req := func(sp int) bool {
+			w := r.spWinner[sp]
+			return w >= 0 && r.allVCs[w].outPort == o
+		}
+		var winner int
+		if r.prioArbOn {
+			winner = r.outArb[o].pickPriority(req, func(sp int) int {
+				vc := r.allVCs[r.spWinner[sp]]
+				if starved && vc.port.isInjection {
+					return 0
+				}
+				return vc.effPrio
+			})
+		} else {
+			winner = r.outArb[o].pick(req)
+		}
+		if winner >= 0 {
+			r.traverse(r.allVCs[r.spWinner[winner]], op, now)
+		}
+	}
+}
+
+// saEligible reports whether an input VC can bid for the switch this cycle:
+// it must hold a flit and a downstream credit.
+func (r *router) saEligible(vc *inputVC) bool {
+	if vc.state != vcActive || vc.buf.empty() {
+		return false
+	}
+	if r.out[vc.outPort].vcs[vc.outVC].credits <= 0 {
+		r.net.stats.CreditStallCycles++
+		return false
+	}
+	return true
+}
+
+// traverse moves one flit from an input VC across the crossbar onto the
+// output link, returns a credit upstream, and retires the downstream-VC
+// ownership at the tail.
+func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
+	f := vc.buf.pop()
+	ov := &op.vcs[vc.outVC]
+	ov.credits--
+	op.flits++
+	r.net.stats.SwitchTraversals++
+
+	// A flit sent at cycle t lands in the downstream buffer at
+	// t + PipelineStages (1 = single-cycle router + 1-cycle link).
+	due := now + int64(r.net.cfg.PipelineStages)
+	switch {
+	case op.destPort != nil:
+		op.destPort.arrivals = append(op.destPort.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
+		r.net.stats.MeshLinkFlits++
+	case op.eject != nil:
+		op.eject.arrivals = append(op.eject.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
+	default:
+		panic("noc: output port with no destination")
+	}
+
+	// Credit for the freed input-buffer slot.
+	if vc.port.isInjection {
+		vc.port.ni.creditReturn(vc.port.injIndex, vc.vcIdx)
+	} else {
+		vc.port.upstream.creditIn[vc.vcIdx]++
+	}
+
+	vc.waitSince = now
+	if f.isTail() {
+		ov.owner = -1
+		vc.state = vcIdle
+		vc.outPort, vc.outVC = -1, -1
+	}
+}
+
+// busy reports whether the router holds any flit in any input VC or staged
+// arrival (used for drain detection).
+func (r *router) busy() bool {
+	for _, ip := range r.in {
+		if len(ip.arrivals) > 0 {
+			return true
+		}
+		for _, vc := range ip.vcs {
+			if !vc.buf.empty() {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshCoordRoundTripQuick(t *testing.T) {
+	m := Mesh{Width: 6, Height: 6}
+	f := func(id uint8) bool {
+		n := int(id) % m.Nodes()
+		x, y := m.Coord(n)
+		return m.Valid(x, y) && m.ID(x, y) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	m := Mesh{Width: 5, Height: 4}
+	for id := 0; id < m.Nodes(); id++ {
+		for d := Direction(0); d < Direction(NumDirections); d++ {
+			nb := m.Neighbor(id, d)
+			if nb < 0 {
+				continue
+			}
+			back := m.Neighbor(nb, d.opposite())
+			if back != id {
+				t.Fatalf("neighbor(%d,%v)=%d but reverse gives %d", id, d, nb, back)
+			}
+		}
+	}
+}
+
+func TestNeighborEdges(t *testing.T) {
+	m := Mesh{Width: 4, Height: 4}
+	if m.Neighbor(0, North) != -1 || m.Neighbor(0, West) != -1 {
+		t.Fatal("corner node has phantom neighbours")
+	}
+	if m.Neighbor(0, East) != 1 || m.Neighbor(0, South) != 4 {
+		t.Fatal("corner neighbours wrong")
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := Mesh{Width: 6, Height: 6}
+	if h := m.Hops(0, m.ID(5, 5)); h != 10 {
+		t.Fatalf("corner-to-corner hops = %d, want 10", h)
+	}
+	if h := m.Hops(7, 7); h != 0 {
+		t.Fatalf("self hops = %d", h)
+	}
+}
+
+func TestBisectionLinks(t *testing.T) {
+	// Paper §3: a 6x6 mesh has 12 unidirectional links in its bisection.
+	m := Mesh{Width: 6, Height: 6}
+	if got := m.BisectionLinks(); got != 12 {
+		t.Fatalf("bisection links = %d, want 12", got)
+	}
+}
+
+func TestBisectionBandwidthAnalysis(t *testing.T) {
+	// Reproduce the paper's §3 arithmetic: 128-bit links at 1 GHz give a
+	// 192 GB/s bisection, above the 179.2 GB/s (80% of 224 GB/s aggregate
+	// MC bandwidth) rule of thumb — so the links are NOT the bottleneck.
+	m := Mesh{Width: 6, Height: 6}
+	linkGBs := 128.0 / 8.0 // 16 GB/s per link at 1 GHz
+	bisection := float64(m.BisectionLinks()) * linkGBs
+	if bisection != 192 {
+		t.Fatalf("bisection bandwidth = %v GB/s, want 192", bisection)
+	}
+	mcGBs := 1.75 * 4 * 4 // 1.75 GHz x 32 pins x QDR / 8 bits = 28 GB/s
+	if mcGBs != 28 {
+		t.Fatalf("per-MC bandwidth = %v GB/s, want 28", mcGBs)
+	}
+	needed := 8 * mcGBs * 0.8
+	if bisection <= needed {
+		t.Fatalf("bisection %v must exceed needed %v", bisection, needed)
+	}
+}
+
+func TestDiamondPlacement6x6(t *testing.T) {
+	m := Mesh{Width: 6, Height: 6}
+	mcs := DiamondMCPlacement(m, 8)
+	if len(mcs) != 8 {
+		t.Fatalf("placement returned %d MCs", len(mcs))
+	}
+	seen := map[int]bool{}
+	rows := map[int]int{}
+	cols := map[int]int{}
+	for _, id := range mcs {
+		if id < 0 || id >= m.Nodes() || seen[id] {
+			t.Fatalf("bad or duplicate MC node %d", id)
+		}
+		seen[id] = true
+		x, y := m.Coord(id)
+		rows[y]++
+		cols[x]++
+	}
+	// Diamond spread: no row or column may cluster more than 2 MCs.
+	for r, c := range rows {
+		if c > 2 {
+			t.Fatalf("row %d holds %d MCs (clustered)", r, c)
+		}
+	}
+	for cl, c := range cols {
+		if c > 2 {
+			t.Fatalf("column %d holds %d MCs (clustered)", cl, c)
+		}
+	}
+	// Point symmetry about the mesh centre (the diamond property we rely
+	// on for balanced reply corridors).
+	for _, id := range mcs {
+		x, y := m.Coord(id)
+		if !seen[m.ID(5-x, 5-y)] {
+			t.Fatalf("placement not point-symmetric: (%d,%d) has no mirror", x, y)
+		}
+	}
+}
+
+func TestDiamondPlacementOtherSizes(t *testing.T) {
+	for _, c := range []struct {
+		w, h, mc int
+	}{
+		{8, 8, 8},
+		{4, 4, 4},
+		{5, 5, 6}, // falls back to even edge spread
+	} {
+		m := Mesh{Width: c.w, Height: c.h}
+		mcs := DiamondMCPlacement(m, c.mc)
+		if len(mcs) != c.mc {
+			t.Fatalf("%dx%d/%d: got %d MCs", c.w, c.h, c.mc, len(mcs))
+		}
+		seen := map[int]bool{}
+		for _, id := range mcs {
+			if id < 0 || id >= m.Nodes() || seen[id] {
+				t.Fatalf("%dx%d/%d: bad or duplicate MC %d", c.w, c.h, c.mc, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestEvenEdgePlacementOnPerimeter(t *testing.T) {
+	m := Mesh{Width: 5, Height: 5}
+	for _, id := range evenEdgePlacement(m, 8) {
+		x, y := m.Coord(id)
+		if x != 0 && x != 4 && y != 0 && y != 4 {
+			t.Fatalf("MC %d at (%d,%d) not on perimeter", id, x, y)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if North.String() != "N" || East.String() != "E" || South.String() != "S" || West.String() != "W" {
+		t.Fatal("direction names wrong")
+	}
+	for d := Direction(0); d < Direction(NumDirections); d++ {
+		if d.opposite().opposite() != d {
+			t.Fatalf("opposite not involutive for %v", d)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplayer exercises the binary trace parser with arbitrary input: it
+// must either reject the stream with an error or produce a Replayer whose
+// streams are safe to pull — never panic or hang.
+func FuzzReplayer(f *testing.F) {
+	// Seed with a small valid trace.
+	k := testKernel()
+	gen, _ := NewGenerator(k, 1, 3)
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(gen, &buf, 1, k.WarpsPerCore)
+	for w := 0; w < k.WarpsPerCore; w++ {
+		rec.NextCompute(0, w)
+		rec.NextMem(0, w, nil)
+	}
+	if err := rec.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("ARIT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := NewReplayer(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine
+		}
+		cores, warps := rep.Shape()
+		if cores <= 0 || warps <= 0 {
+			t.Fatalf("accepted trace with shape %dx%d", cores, warps)
+		}
+		// Pulling from any warp must be safe and bounded.
+		for i := 0; i < 16; i++ {
+			c, w := i%cores, i%warps
+			if n := rep.NextCompute(c, w); n < 0 {
+				t.Fatalf("negative compute segment %d", n)
+			}
+			_, addrs := rep.NextMem(c, w, nil)
+			if len(addrs) > 8 {
+				t.Fatalf("replayed %d addresses, above the format cap", len(addrs))
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	k := testKernel()
+	const cores = 2
+	gen, err := NewGenerator(k, cores, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec, err := NewRecorder(gen, &buf, cores, k.WarpsPerCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the recorder the way a core does: NextCompute then NextMem,
+	// capturing the stream for comparison.
+	type step struct {
+		compute int
+		write   bool
+		addrs   []uint64
+	}
+	var want []step
+	for i := 0; i < 200; i++ {
+		core := i % cores
+		warp := (i / cores) % k.WarpsPerCore
+		c := rec.NextCompute(core, warp)
+		w, addrs := rec.NextMem(core, warp, nil)
+		cp := make([]uint64, len(addrs))
+		copy(cp, addrs)
+		want = append(want, step{c, w, cp})
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Records() != 200 {
+		t.Fatalf("recorded %d records, want 200", rec.Records())
+	}
+
+	rep, err := NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, gw := rep.Shape()
+	if gc != cores || gw != k.WarpsPerCore {
+		t.Fatalf("shape = %dx%d, want %dx%d", gc, gw, cores, k.WarpsPerCore)
+	}
+	for i, s := range want {
+		core := i % cores
+		warp := (i / cores) % k.WarpsPerCore
+		c := rep.NextCompute(core, warp)
+		w, addrs := rep.NextMem(core, warp, nil)
+		if c != s.compute || w != s.write || len(addrs) != len(s.addrs) {
+			t.Fatalf("step %d mismatch: got (%d,%v,%d addrs), want (%d,%v,%d addrs)",
+				i, c, w, len(addrs), s.compute, s.write, len(s.addrs))
+		}
+		for j := range addrs {
+			if addrs[j] != s.addrs[j] {
+				t.Fatalf("step %d addr %d: %x != %x", i, j, addrs[j], s.addrs[j])
+			}
+		}
+	}
+}
+
+func TestReplayerWrapsAround(t *testing.T) {
+	k := testKernel()
+	gen, _ := NewGenerator(k, 1, 7)
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(gen, &buf, 1, k.WarpsPerCore)
+	// Record 3 steps for warp 0 only... but every warp needs >= 1 record.
+	for w := 0; w < k.WarpsPerCore; w++ {
+		rec.NextCompute(0, w)
+		rec.NextMem(0, w, nil)
+	}
+	for i := 0; i < 2; i++ {
+		rec.NextCompute(0, 0)
+		rec.NextMem(0, 0, nil)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warp 0 has 3 records; pulling 7 steps must cycle 3,3,1 without error
+	// and reproduce the first record on the 4th pull.
+	var first []uint64
+	for i := 0; i < 7; i++ {
+		rep.NextCompute(0, 0)
+		_, addrs := rep.NextMem(0, 0, nil)
+		if i == 0 {
+			first = append([]uint64(nil), addrs...)
+		}
+		if i == 3 {
+			if len(addrs) != len(first) || addrs[0] != first[0] {
+				t.Fatalf("wrap-around did not restart the stream")
+			}
+		}
+	}
+}
+
+func TestReplayerRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("ARIT\x02\x00\x00\x00\x01\x00\x00\x00\x01\x00\x00\x00"), // bad version
+		[]byte("ARIT\x01\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00"), // zero cores
+	}
+	for i, b := range cases {
+		if _, err := NewReplayer(bytes.NewReader(b)); err == nil {
+			t.Fatalf("case %d: garbage trace accepted", i)
+		}
+	}
+}
+
+func TestReplayerRejectsEmptyWarp(t *testing.T) {
+	k := testKernel()
+	gen, _ := NewGenerator(k, 1, 7)
+	var buf bytes.Buffer
+	rec, _ := NewRecorder(gen, &buf, 1, k.WarpsPerCore)
+	// Only warp 0 gets a record; the others are empty.
+	rec.NextCompute(0, 0)
+	rec.NextMem(0, 0, nil)
+	rec.Flush()
+	if _, err := NewReplayer(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("trace with empty warps accepted")
+	}
+}

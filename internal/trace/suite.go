@@ -1,0 +1,91 @@
+package trace
+
+import "fmt"
+
+// Suite returns the 30 synthetic benchmarks standing in for the paper's
+// Rodinia + CUDA SDK mix (§6.2: 9 highly NoC-sensitive, 11 medium, 10 low).
+// Names follow the paper's figures so per-benchmark experiments (Fig 6: bfs,
+// hotspot, srad, pathfinder; Fig 9: bfs, mummerGPU; Fig 15: bfs, b+tree,
+// hotspot, pathfinder) address the same rows. Parameters are synthetic but
+// chosen so each class reproduces the class behaviour the paper reports:
+// high-sensitivity kernels are reply-bandwidth-bound, low-sensitivity ones
+// are compute-bound with sparse traffic.
+func Suite() []Kernel {
+	k := func(name string, sens Sensitivity, warps int, cpm, rf, coal, loc float64, hot int, l2f float64, shared int, stream uint64) Kernel {
+		return Kernel{
+			Name: name, Sens: sens, WarpsPerCore: warps,
+			ComputePerMem: cpm, ReadFrac: rf, CoalesceMean: coal,
+			Locality: loc, HotLines: hot, L2Frac: l2f,
+			SharedLines: shared, StreamLines: stream,
+		}
+	}
+	const mega = 1 << 20 // lines; 128 MB of 128B lines
+	return []Kernel{
+		// ---- 9 highly NoC-sensitive: memory-bound streaming kernels ----
+		k("bfs", High, 48, 4.0, 0.90, 1.8, 0.15, 96, 0.40, 2048, 2*mega),
+		k("mummerGPU", High, 40, 4.5, 0.95, 2.2, 0.10, 64, 0.35, 3072, 4*mega),
+		k("kmeans", High, 48, 6.0, 0.85, 1.2, 0.25, 112, 0.45, 2048, 2*mega),
+		k("pathfinder", High, 48, 5.0, 0.88, 1.1, 0.20, 96, 0.50, 2048, mega),
+		k("hotspot", High, 40, 7.0, 0.80, 1.1, 0.25, 112, 0.50, 2048, mega),
+		k("srad", High, 48, 5.5, 0.82, 1.1, 0.20, 96, 0.45, 2048, 2*mega),
+		k("streamcluster", High, 40, 8.0, 0.92, 1.3, 0.15, 64, 0.35, 3072, 4*mega),
+		k("cfd", High, 40, 9.0, 0.85, 1.5, 0.20, 96, 0.40, 3072, 2*mega),
+		k("particlefilter", High, 32, 8.0, 0.88, 1.6, 0.20, 64, 0.40, 2048, 2*mega),
+
+		// ---- 11 medium sensitivity ----
+		k("b+tree", Medium, 32, 30, 0.92, 1.7, 0.40, 112, 0.50, 2048, mega),
+		k("backprop", Medium, 40, 34, 0.80, 1.1, 0.45, 112, 0.55, 2048, mega),
+		k("gaussian", Medium, 32, 40, 0.85, 1.1, 0.50, 112, 0.55, 2048, mega),
+		k("nw", Medium, 24, 44, 0.82, 1.2, 0.45, 96, 0.50, 2048, mega),
+		k("lud", Medium, 32, 50, 0.85, 1.1, 0.55, 112, 0.55, 2048, mega/2),
+		k("hybridsort", Medium, 40, 32, 0.70, 1.4, 0.40, 96, 0.50, 2048, 2*mega),
+		k("histogram", Medium, 48, 28, 0.60, 1.5, 0.45, 112, 0.50, 2048, mega),
+		k("transpose", Medium, 48, 30, 0.55, 1.2, 0.35, 96, 0.45, 2048, mega),
+		k("scan", Medium, 48, 36, 0.75, 1.1, 0.40, 112, 0.50, 2048, mega),
+		k("reduction", Medium, 48, 42, 0.90, 1.1, 0.45, 112, 0.55, 2048, mega),
+		k("sobolQRNG", Medium, 40, 60, 0.70, 1.1, 0.50, 112, 0.50, 2048, mega/2),
+
+		// ---- 10 low sensitivity: compute-bound kernels ----
+		k("blackScholes", Low, 48, 70, 0.80, 1.1, 0.65, 112, 0.55, 2048, mega/2),
+		k("binomialOptions", Low, 40, 150, 0.85, 1.0, 0.80, 112, 0.60, 2048, mega/4),
+		k("monteCarlo", Low, 48, 130, 0.90, 1.0, 0.75, 112, 0.60, 2048, mega/4),
+		k("quasirandomG", Low, 40, 110, 0.75, 1.0, 0.70, 96, 0.55, 2048, mega/4),
+		k("matrixMul", Low, 48, 80, 0.90, 1.0, 0.70, 112, 0.65, 2048, mega/2),
+		k("convolution", Low, 48, 90, 0.85, 1.1, 0.70, 112, 0.60, 2048, mega/2),
+		k("fastWalsh", Low, 40, 100, 0.80, 1.0, 0.70, 112, 0.55, 2048, mega/4),
+		k("mergeSort", Low, 40, 75, 0.75, 1.2, 0.60, 96, 0.55, 2048, mega/2),
+		k("nn", Low, 32, 120, 0.92, 1.1, 0.75, 112, 0.60, 2048, mega/4),
+		k("lavaMD", Low, 32, 150, 0.88, 1.0, 0.80, 112, 0.60, 2048, mega/4),
+	}
+}
+
+// ByName returns the suite kernel with the given name.
+func ByName(name string) (Kernel, error) {
+	for _, k := range Suite() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("trace: unknown benchmark %q", name)
+}
+
+// Names returns the suite benchmark names in order.
+func Names() []string {
+	suite := Suite()
+	names := make([]string, len(suite))
+	for i, k := range suite {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// ByClass returns the suite kernels of one sensitivity class.
+func ByClass(s Sensitivity) []Kernel {
+	var out []Kernel
+	for _, k := range Suite() {
+		if k.Sens == s {
+			out = append(out, k)
+		}
+	}
+	return out
+}
