@@ -1,0 +1,24 @@
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: check test bench fuzz
+
+# check is the full gate: build everything, vet, and run all tests with the
+# race detector (covers the equivalence, golden, property, and race suites).
+check:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+
+test:
+	go test ./...
+
+# bench records the NoC stepping benchmarks (event-driven vs scan reference)
+# and the end-to-end simulator benchmarks into a dated JSON snapshot.
+bench:
+	go test ./internal/noc . -run '^$$' -bench 'NetworkStep|SimulatorStep' -benchmem \
+		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_$(DATE).json
+
+# fuzz replays the committed corpora and then fuzzes each target briefly.
+fuzz:
+	go test ./internal/core -run FuzzConfigValidate -fuzz FuzzConfigValidate -fuzztime 15s
+	go test ./internal/trace -run FuzzKernelValidate -fuzz FuzzKernelValidate -fuzztime 15s

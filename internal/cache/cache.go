@@ -18,6 +18,12 @@ func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
 		return fmt.Errorf("cache: non-positive geometry %+v", c)
 	}
+	lw := c.LineBytes * c.Ways
+	if lw <= 0 || lw/c.Ways != c.LineBytes {
+		// The product overflowed int; without this check the modulo below
+		// could divide by zero or accept nonsense geometry.
+		return fmt.Errorf("cache: geometry overflow %+v", c)
+	}
 	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
 		return fmt.Errorf("cache: size %dB not divisible by %d ways x %dB lines",
 			c.SizeBytes, c.Ways, c.LineBytes)

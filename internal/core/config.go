@@ -167,6 +167,12 @@ type Config struct {
 	Seed          uint64
 	WarmupCycles  int64
 	MeasureCycles int64
+
+	// ScanStep forces the scan-everything stepping loops in both networks,
+	// the cores and the MCs. The default event-driven stepping is
+	// bit-identical (internal/simeq proves it); the flag keeps the reference
+	// path alive for those differential tests.
+	ScanStep bool
 }
 
 // DefaultConfig returns the Table I configuration: 6x6 mesh, 28 compute
@@ -202,6 +208,13 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if c.MeshWidth <= 0 || c.MeshHeight <= 0 {
 		return fmt.Errorf("core: invalid mesh %dx%d", c.MeshWidth, c.MeshHeight)
+	}
+	// Bound the dimensions so nodes = W*H cannot overflow int (and absurd
+	// meshes fail fast instead of exhausting memory).
+	const maxMeshDim = 4096
+	if c.MeshWidth > maxMeshDim || c.MeshHeight > maxMeshDim {
+		return fmt.Errorf("core: mesh %dx%d exceeds the %d-per-side limit",
+			c.MeshWidth, c.MeshHeight, maxMeshDim)
 	}
 	nodes := c.MeshWidth * c.MeshHeight
 	if c.NumMC <= 0 || c.NumMC >= nodes {

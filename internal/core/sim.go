@@ -114,6 +114,7 @@ func (s *Simulator) buildNetworks() error {
 		Routing:     routing,
 		NonAtomicVC: true,
 		EjectRate:   cfg.EjectRate,
+		ScanStep:    cfg.ScanStep,
 	}
 	reqNet, err := noc.NewNetwork(reqCfg)
 	if err != nil {
@@ -131,6 +132,7 @@ func (s *Simulator) buildNetworks() error {
 		NonAtomicVC:  true,
 		NIQueueFlits: cfg.NIQueueFlits,
 		EjectRate:    cfg.EjectRate,
+		ScanStep:     cfg.ScanStep,
 	}
 	if cfg.Scheme.hasPriority() {
 		repCfg.PriorityLevels = cfg.PriorityLevels
@@ -192,6 +194,7 @@ func (s *Simulator) buildNodes() error {
 
 	coreCfg := cfg.Core
 	coreCfg.WarpsPerCore = s.kernel.WarpsPerCore
+	coreCfg.ScanTick = cfg.ScanStep
 	workload := s.workload
 	if workload == nil {
 		gen, err := trace.NewGenerator(s.kernel, len(s.ccNodes), cfg.Seed)
@@ -221,9 +224,11 @@ func (s *Simulator) buildNodes() error {
 		s.mcs[i] = mc
 	}
 
-	// Request network delivers to MCs, gated by their ingress space.
+	// Request network delivers to MCs, gated by their ingress space. The MC
+	// extracts the transaction, so the packet shell recycles immediately.
 	s.reqNet.SetEjectHandler(func(node int, pkt *noc.Packet, now int64) {
 		s.mcs[s.mcIndexOf[node]].Receive(pkt)
+		s.reqNet.PutPacket(pkt)
 	})
 	s.reqNet.SetSinkGate(func(node int) bool {
 		i, ok := s.mcIndexOf[node]
@@ -246,6 +251,7 @@ func (s *Simulator) buildNodes() error {
 		if c := coreAt[node]; c != nil {
 			c.ReceiveReply(txn)
 		}
+		s.repNet.PutPacket(pkt)
 	})
 	return nil
 }
@@ -263,13 +269,16 @@ func (s *Simulator) sendRequest(node int, txn *mem.Transaction) bool {
 	if txn.IsWrite {
 		typ = noc.WriteRequest
 	}
-	pkt := &noc.Packet{
-		Type:    typ,
-		Dst:     s.mcNodeFor(txn.Addr),
-		Size:    noc.PacketSize(typ, s.cfg.ReqLinkBits, s.cfg.DataBytes),
-		Payload: txn,
+	pkt := s.reqNet.GetPacket()
+	pkt.Type = typ
+	pkt.Dst = s.mcNodeFor(txn.Addr)
+	pkt.Size = noc.PacketSize(typ, s.cfg.ReqLinkBits, s.cfg.DataBytes)
+	pkt.Payload = txn
+	if !s.reqNet.Inject(node, pkt) {
+		s.reqNet.PutPacket(pkt)
+		return false
 	}
-	return s.reqNet.Inject(node, pkt)
+	return true
 }
 
 // Step advances the whole system by one NoC cycle.
@@ -285,7 +294,13 @@ func (s *Simulator) Step() {
 	}
 	memTicks := s.memClock.Tick()
 	for _, mc := range s.mcs {
-		mc.Tick(s.cycle, memTicks)
+		if s.cfg.ScanStep || !mc.Quiescent() {
+			mc.Tick(s.cycle, memTicks)
+		} else {
+			// A quiescent MC's Tick only advances the DRAM clock; skip the
+			// rest of the pipeline walk but keep that clock aligned.
+			mc.SkipIdle(memTicks)
+		}
 	}
 	s.reqNet.Step()
 	s.repNet.Step()

@@ -123,12 +123,15 @@ func (r *Runner) RunAll(jobs []Job) ([]core.Result, error) {
 					r.mu.Lock()
 					r.cache[k] = res
 					r.runs++
-					n := r.runs
-					r.mu.Unlock()
+					// The progress write stays under the mutex: workers
+					// share r.Progress, and io.Writer implementations
+					// (bytes.Buffer, files with buffering) are not safe
+					// for concurrent use.
 					if r.Progress != nil {
 						fmt.Fprintf(r.Progress, "run %3d: %-16s %-20s IPC=%.3f\n",
-							n, k.bench, res.Scheme, res.IPC)
+							r.runs, k.bench, res.Scheme, res.IPC)
 					}
+					r.mu.Unlock()
 				}
 			}()
 		}

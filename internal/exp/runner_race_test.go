@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunnerProgressConcurrent drives the worker pool with a shared
+// Progress writer. bytes.Buffer is not safe for concurrent use, so this
+// test run under -race (make check does) pins the regression where
+// progress writes escaped the runner's mutex; the line count additionally
+// checks no write was lost to interleaving.
+func TestRunnerProgressConcurrent(t *testing.T) {
+	r := NewRunner()
+	r.Workers = 4
+	r.Base.WarmupCycles = 100
+	r.Base.MeasureCycles = 200
+	var buf bytes.Buffer
+	r.Progress = &buf
+
+	var jobs []Job
+	for _, k := range r.Benchmarks[:4] {
+		for _, s := range []core.Scheme{core.XYBaseline, core.AdaARI} {
+			cfg := r.Base
+			cfg.Scheme = s
+			jobs = append(jobs, Job{Cfg: cfg, Kernel: k})
+		}
+	}
+	if _, err := r.RunAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(jobs) {
+		t.Fatalf("progress reported %d runs, want %d", got, len(jobs))
+	}
+}

@@ -40,6 +40,13 @@ type Config struct {
 	StoreQueueCap int
 	// LSUQueueCap bounds transactions waiting in the LSU.
 	LSUQueueCap int
+	// ScanTick forces the full per-cycle scheduler scan even on cycles with
+	// no ready warp and an empty LSU queue. The default (false) short-cuts
+	// such cycles to the exact observable effect of the scan — one core
+	// cycle, one issue stall — which is the event-driven fast path of the
+	// system loop. Both settings are bit-identical; ScanTick exists for the
+	// equivalence tests.
+	ScanTick bool
 }
 
 // DefaultConfig returns the Table I core parameters.
@@ -93,9 +100,12 @@ type Core struct {
 
 	warps   []warp
 	current int // greedy warp
-	l1      *cache.Cache
-	mshr    *cache.MSHR
-	lsuQ    []lsuOp
+	// readyWarps counts warps in warpReady state: the O(1) activity
+	// predicate for the Tick fast path.
+	readyWarps int
+	l1         *cache.Cache
+	mshr       *cache.MSHR
+	lsuQ       []lsuOp
 
 	workload Workload
 	// send hands a transaction to the request-network NI; false means the
@@ -128,14 +138,15 @@ func NewCore(index, node int, cfg Config, w Workload, send func(txn *mem.Transac
 		return nil, fmt.Errorf("gpu: core needs a workload and a send hook")
 	}
 	return &Core{
-		Index:    index,
-		Node:     node,
-		cfg:      cfg,
-		warps:    make([]warp, cfg.WarpsPerCore),
-		l1:       cache.New(cfg.L1),
-		mshr:     cache.NewMSHR(cfg.MSHREntries, cfg.MSHRWaiters),
-		workload: w,
-		send:     send,
+		Index:      index,
+		Node:       node,
+		cfg:        cfg,
+		warps:      make([]warp, cfg.WarpsPerCore),
+		readyWarps: cfg.WarpsPerCore,
+		l1:         cache.New(cfg.L1),
+		mshr:       cache.NewMSHR(cfg.MSHREntries, cfg.MSHRWaiters),
+		workload:   w,
+		send:       send,
 	}, nil
 }
 
@@ -166,6 +177,14 @@ func (c *Core) IPC() float64 {
 // Tick advances the core by one core-clock cycle.
 func (c *Core) Tick() {
 	c.CoreCycles++
+	if !c.cfg.ScanTick && c.readyWarps == 0 && len(c.lsuQ) == 0 {
+		// Fast path: with no ready warp, every tryIssue returns false before
+		// any side effect (in particular, before any workload RNG draw), and
+		// with an empty LSU queue stepLSU is a no-op. The scan's only
+		// observable effect is the issue stall recorded here.
+		c.IssueStalls++
+		return
+	}
 	c.stepLSU()
 	c.issue()
 }
@@ -232,6 +251,7 @@ func (c *Core) tryIssue(w int) bool {
 	} else {
 		wp.pendingLoads += len(addrs)
 		wp.state = warpWaiting
+		c.readyWarps--
 		c.LoadTxns += uint64(len(addrs))
 	}
 	wp.computeLeft = c.workload.NextCompute(c.Index, w)
@@ -340,6 +360,7 @@ func (c *Core) loadDone(w int) {
 	}
 	if wp.pendingLoads == 0 && wp.state == warpWaiting {
 		wp.state = warpReady
+		c.readyWarps++
 	}
 }
 

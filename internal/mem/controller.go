@@ -54,7 +54,7 @@ type Controller struct {
 	l2   *cache.Cache
 	dram *DRAM
 
-	inQ          []*noc.Packet
+	inQ          []*Transaction
 	l2Pipe       []pipeEntry
 	pendingReads map[uint64][]*Transaction // line -> merged readers
 	dramDone     []*Transaction            // completions awaiting reply slot
@@ -110,15 +110,37 @@ func (c *Controller) DRAM() *DRAM { return c.dram }
 // network's ejection gate at this node).
 func (c *Controller) CanReceive() bool { return len(c.inQ) < c.cfg.InQueueCap }
 
-// Receive buffers a request packet delivered by the request network.
+// Receive buffers a request packet delivered by the request network. The
+// transaction is extracted immediately; the packet shell is not retained,
+// so the caller may recycle it as soon as Receive returns.
 func (c *Controller) Receive(pkt *noc.Packet) {
-	c.inQ = append(c.inQ, pkt)
+	txn, ok := pkt.Payload.(*Transaction)
+	if !ok {
+		panic("mem: request packet without Transaction payload")
+	}
+	c.inQ = append(c.inQ, txn)
 }
 
 // Pending reports in-flight work (for drain detection).
 func (c *Controller) Pending() int {
 	return len(c.inQ) + len(c.l2Pipe) + len(c.dramDone) + len(c.replyQ) +
 		c.dram.Pending() + len(c.pendingReads)
+}
+
+// Quiescent reports whether a Tick would be a pure clock advance: no
+// buffered requests, no L2 or DRAM activity, no replies waiting. The
+// system loop may then call SkipIdle instead of Tick with no change to
+// any simulated state.
+func (c *Controller) Quiescent() bool {
+	return len(c.inQ) == 0 && len(c.l2Pipe) == 0 && len(c.dramDone) == 0 &&
+		len(c.replyQ) == 0 && len(c.pendingReads) == 0 && c.dram.Quiescent()
+}
+
+// SkipIdle stands in for Tick on a quiescent controller: the only state a
+// quiescent Tick changes is the DRAM clock, which must keep advancing so
+// later arrival stamps and timing references stay aligned.
+func (c *Controller) SkipIdle(memTicks int) {
+	c.dram.AdvanceIdle(memTicks)
 }
 
 // Tick advances the controller by one NoC cycle; memTicks is how many
@@ -181,11 +203,7 @@ func (c *Controller) processRequest(now int64) {
 	if len(c.inQ) == 0 {
 		return
 	}
-	pkt := c.inQ[0]
-	txn, ok := pkt.Payload.(*Transaction)
-	if !ok {
-		panic("mem: request packet without Transaction payload")
-	}
+	txn := c.inQ[0]
 	if txn.IsWrite {
 		if !c.processWrite(txn, now) {
 			return
@@ -272,13 +290,13 @@ func (c *Controller) injectReply(now int64) {
 	if txn.IsWrite {
 		typ = noc.WriteReply
 	}
-	pkt := &noc.Packet{
-		Type:    typ,
-		Dst:     txn.SrcNode,
-		Size:    noc.PacketSize(typ, c.linkBits, c.dataBytes),
-		Payload: txn,
-	}
+	pkt := c.fabric.GetPacket()
+	pkt.Type = typ
+	pkt.Dst = txn.SrcNode
+	pkt.Size = noc.PacketSize(typ, c.linkBits, c.dataBytes)
+	pkt.Payload = txn
 	if !c.fabric.Inject(c.Node, pkt) {
+		c.fabric.PutPacket(pkt)
 		c.BlockedCycle++
 		return
 	}

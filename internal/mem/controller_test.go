@@ -26,6 +26,8 @@ func (s *stubFabric) Now() int64                                                
 func (s *stubFabric) SetEjectHandler(func(node int, pkt *noc.Packet, now int64)) {}
 func (s *stubFabric) InFlight() int                                              { return 0 }
 func (s *stubFabric) Stats() *noc.NetStats                                       { return &noc.NetStats{} }
+func (s *stubFabric) GetPacket() *noc.Packet                                     { return &noc.Packet{} }
+func (s *stubFabric) PutPacket(*noc.Packet)                                      {}
 
 func newTestMC(t *testing.T, fab noc.Fabric) *Controller {
 	t.Helper()

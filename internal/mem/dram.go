@@ -150,6 +150,16 @@ func (d *DRAM) mapAddr(addr uint64) (bank int, row int64) {
 // Pending returns queued plus in-service requests.
 func (d *DRAM) Pending() int { return len(d.queue) }
 
+// Quiescent reports whether the channel holds no queued, in-service or
+// completed-but-unclaimed work. While quiescent, Tick only advances the
+// clock (see AdvanceIdle).
+func (d *DRAM) Quiescent() bool { return len(d.queue) == 0 && len(d.done) == 0 }
+
+// AdvanceIdle advances the memory clock by n cycles in O(1). It is exactly
+// equivalent to n Ticks while Quiescent(): with an empty queue, Tick does
+// nothing but increment now.
+func (d *DRAM) AdvanceIdle(n int) { d.now += int64(n) }
+
 // Tick advances one memory cycle: completes in-service requests and issues
 // at most one new request chosen FR-FCFS (first ready row-hit, else oldest).
 func (d *DRAM) Tick() {

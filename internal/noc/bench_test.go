@@ -50,6 +50,61 @@ func stepLoaded(b *testing.B, n *Network) {
 func BenchmarkNetworkStepBaseline(b *testing.B) { stepLoaded(b, benchNet(b, false)) }
 func BenchmarkNetworkStepARI(b *testing.B)      { stepLoaded(b, benchNet(b, true)) }
 
+// benchScanNet builds the baseline 6x6 network with the chosen stepping
+// mode for the event-vs-scan comparison benchmarks.
+func benchScanNet(b *testing.B, scan bool) *Network {
+	b.Helper()
+	mesh := Mesh{Width: 6, Height: 6}
+	n, err := NewNetwork(Config{
+		Mesh:        mesh,
+		VCs:         4,
+		LinkBits:    128,
+		DataBytes:   128,
+		Routing:     RouteMinAdaptive,
+		NonAtomicVC: true,
+		ScanStep:    scan,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Recycle delivered packets so steady state allocates nothing.
+	n.SetEjectHandler(func(_ int, pkt *Packet, _ int64) { n.PutPacket(pkt) })
+	return n
+}
+
+// stepAtLoad drives the network injecting one long packet every `period`
+// cycles from rotating MC nodes: period 20 is the sparse traffic of
+// low-sensitivity kernels, period 4 a medium reply load.
+func stepAtLoad(b *testing.B, n *Network, period int) {
+	mcs := DiamondMCPlacement(n.Config().Mesh, 8)
+	seed := uint64(1)
+	next := func(mod int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % mod
+	}
+	cfg := n.Config()
+	long := cfg.LongPacketFlits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%period == 0 {
+			pkt := n.GetPacket()
+			pkt.Type = ReadReply
+			pkt.Dst = next(36)
+			pkt.Size = long
+			if !n.Inject(mcs[(i/period)%len(mcs)], pkt) {
+				n.PutPacket(pkt)
+			}
+		}
+		n.Step()
+	}
+}
+
+func BenchmarkNetworkStepEventLowLoad(b *testing.B) { stepAtLoad(b, benchScanNet(b, false), 20) }
+func BenchmarkNetworkStepScanLowLoad(b *testing.B)  { stepAtLoad(b, benchScanNet(b, true), 20) }
+func BenchmarkNetworkStepEventMedLoad(b *testing.B) { stepAtLoad(b, benchScanNet(b, false), 4) }
+func BenchmarkNetworkStepScanMedLoad(b *testing.B)  { stepAtLoad(b, benchScanNet(b, true), 4) }
+
 func BenchmarkRouteCompute(b *testing.B) {
 	m := Mesh{Width: 8, Height: 8}
 	var scratch []routeCandidate

@@ -27,6 +27,28 @@ func (n *Network) CheckInvariants() error {
 func (n *Network) checkRouter(r *router) error {
 	depth := n.cfg.VCDepth
 
+	// (0): the incremental activity counters of event-driven stepping must
+	// agree with a full recount (a divergence would silently de-schedule a
+	// busy component).
+	recount := 0
+	for _, ip := range r.in {
+		recount += len(ip.arrivals)
+		for _, vc := range ip.vcs {
+			recount += vc.buf.len()
+		}
+	}
+	if recount != r.flits {
+		return fmt.Errorf("activity counter %d != recounted %d flits", r.flits, recount)
+	}
+	e := n.ejectors[r.id]
+	recount = len(e.arrivals)
+	for _, q := range e.vcs {
+		recount += q.len()
+	}
+	if recount != e.flits {
+		return fmt.Errorf("ejector activity counter %d != recounted %d flits", e.flits, recount)
+	}
+
 	// (1) and (4): buffer bounds and contiguity.
 	for _, ip := range r.in {
 		for _, vc := range ip.vcs {

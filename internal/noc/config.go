@@ -119,6 +119,14 @@ type Config struct {
 	// priority is suppressed at a router (§5; 1k cycles in the paper).
 	StarvationLimit int64
 
+	// ScanStep forces the original scan-everything stepping loop, in which
+	// every router, NI and ejector is visited every cycle. The default
+	// (false) is event-driven stepping, which visits only components that
+	// hold flits; the two are bit-identical (see DESIGN.md §"Event-driven
+	// stepping" and internal/simeq), so this flag exists purely for
+	// differential testing and as a debugging escape hatch.
+	ScanStep bool
+
 	// Nodes optionally overrides the injection architecture per node id.
 	// Missing/zero entries are the enhanced baseline.
 	Nodes []NodeConfig

@@ -32,6 +32,12 @@ type DA2Mesh struct {
 	inFlight     int
 	nextPktID    uint64
 	ejectHandler func(node int, pkt *Packet, now int64)
+
+	// scan selects the scan-everything loops (Config.ScanStep); the default
+	// skips nodes with no queued or arriving flits — provably a no-op for
+	// them, so both modes are bit-identical.
+	scan bool
+	pool pktPool
 }
 
 var _ Fabric = (*DA2Mesh)(nil)
@@ -76,7 +82,7 @@ func NewDA2Mesh(cfg Config) (*DA2Mesh, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DA2Mesh{cfg: cfg}
+	d := &DA2Mesh{cfg: cfg, scan: cfg.ScanStep}
 	nodes := cfg.Mesh.Nodes()
 	d.backlog = make([]int, nodes)
 	d.ejectQ = make([][]overlayArrival, nodes)
@@ -216,9 +222,14 @@ func (d *DA2Mesh) Step() {
 }
 
 // streamLanes advances every injection lane by its per-cycle flit budget.
+// Event-driven mode skips NIs with nothing queued: their lanes are all
+// empty, so the loop body is a no-op for them.
 func (d *DA2Mesh) streamLanes() {
 	window := overlayWindowPackets * d.cfg.LongPacketFlits()
 	for _, ni := range d.nis {
+		if !d.scan && ni.queued == 0 {
+			continue
+		}
 		budget := len(ni.lanes) // 1 flit per lane per cycle
 		if ni.mode != NISplit {
 			budget = 1 // shared narrow supply (baseline & MultiPort NI limit)
@@ -283,10 +294,15 @@ func (d *DA2Mesh) deliverArrivals() {
 }
 
 // drainEjectors consumes EjectRate flits/cycle at every destination.
+// Event-driven mode skips destinations with an empty ejection queue (the
+// budget loop would exit immediately for them).
 func (d *DA2Mesh) drainEjectors() {
 	for node := range d.ejectQ {
-		budget := d.cfg.EjectRate
 		q := d.ejectQ[node]
+		if !d.scan && len(q) == 0 {
+			continue
+		}
+		budget := d.cfg.EjectRate
 		for budget > 0 && len(q) > 0 {
 			a := &q[0]
 			take := a.pkt.Size - a.drained
@@ -309,6 +325,12 @@ func (d *DA2Mesh) drainEjectors() {
 		d.ejectQ[node] = q
 	}
 }
+
+// GetPacket returns a zeroed packet from the fabric's freelist.
+func (d *DA2Mesh) GetPacket() *Packet { return d.pool.get() }
+
+// PutPacket recycles a delivered packet into the freelist.
+func (d *DA2Mesh) PutPacket(p *Packet) { d.pool.put(p) }
 
 // NIOccupancyAvgFlits returns the mean time-averaged lane-queue occupancy
 // over injecting NIs.

@@ -12,6 +12,9 @@ type ejector struct {
 	arrivals []stagedFlit
 	rr       *roundRobin
 	rate     int
+	// flits counts buffered plus staged flits: the O(1) activity predicate
+	// of event-driven stepping (always equals what busy() recounts).
+	flits int
 	// backOut is the router output port whose credits track this ejector's
 	// buffer space.
 	backOut *outputPort
@@ -58,6 +61,7 @@ func (e *ejector) consume(now int64) {
 			return
 		}
 		f := e.vcs[v].pop()
+		e.flits--
 		e.backOut.creditIn[v]++
 		e.net.stats.EjectFlits++
 		if f.isTail() {

@@ -23,6 +23,8 @@ type IdealFabric struct {
 	windowCount []uint32
 	windowStart int64
 	Windows     [][]uint32 // [node][window]
+
+	pool pktPool
 }
 
 var _ Fabric = (*IdealFabric)(nil)
@@ -119,6 +121,12 @@ func (f *IdealFabric) Step() {
 		f.windowStart = f.now
 	}
 }
+
+// GetPacket returns a zeroed packet from the fabric's freelist.
+func (f *IdealFabric) GetPacket() *Packet { return f.pool.get() }
+
+// PutPacket recycles a delivered packet into the freelist.
+func (f *IdealFabric) PutPacket(p *Packet) { f.pool.put(p) }
 
 // PeakWindow returns the p-th percentile (0..100) of per-100-cycle packet
 // injection counts of the given node.

@@ -29,6 +29,14 @@ type Fabric interface {
 	InFlight() int
 	// Stats returns the fabric's statistics (finalised occupancy included).
 	Stats() *NetStats
+	// GetPacket returns a zeroed Packet from the fabric's freelist. Callers
+	// that do not manage packet lifetimes may ignore it and allocate
+	// Packets directly; the freelist is an optimisation, not a requirement.
+	GetPacket() *Packet
+	// PutPacket releases a packet to the freelist. Only call it for packets
+	// obtained from GetPacket, and only once no reference remains (after
+	// the ejection callback returned, or after Inject rejected it).
+	PutPacket(*Packet)
 }
 
 // Network is a cycle-accurate 2D-mesh NoC.
@@ -54,6 +62,11 @@ type Network struct {
 	injWindowCount uint32
 	injWindowStart int64
 	InjWindows     []uint32
+
+	// scan selects the scan-everything reference loop (Config.ScanStep);
+	// the default is event-driven stepping over the active components.
+	scan bool
+	pool pktPool
 }
 
 var _ Fabric = (*Network)(nil)
@@ -64,7 +77,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, scan: cfg.ScanStep}
 	nodes := cfg.Mesh.Nodes()
 	n.routers = make([]*router, nodes)
 	n.ejectors = make([]*ejector, nodes)
@@ -170,8 +183,28 @@ func (n *Network) Inject(node int, pkt *Packet) bool {
 }
 
 // Step advances the network one cycle: arrivals/credits land, NIs supply
-// flits, routers run RC/VA/SA/ST, ejectors drain.
+// flits, routers run RC/VA/SA/ST, ejectors drain. The default stepping is
+// event-driven (only components holding flits are visited); Config.ScanStep
+// selects the scan-everything reference loop. Both produce bit-identical
+// simulations — see DESIGN.md §"Event-driven stepping" for the invariants
+// that make the skip safe.
 func (n *Network) Step() {
+	if n.scan {
+		n.stepScan()
+	} else {
+		n.stepActive()
+	}
+	n.now++
+	n.stats.Cycles++
+	if n.now-n.injWindowStart >= 100 {
+		n.InjWindows = append(n.InjWindows, n.injWindowCount)
+		n.injWindowCount = 0
+		n.injWindowStart = n.now
+	}
+}
+
+// stepScan visits every component every cycle (the reference loop).
+func (n *Network) stepScan() {
 	for _, r := range n.routers {
 		r.applyArrivals(n.now)
 	}
@@ -185,7 +218,7 @@ func (n *Network) Step() {
 		r.routeCompute(n.now)
 	}
 	for _, r := range n.routers {
-		r.vcAllocate()
+		r.vcAllocate(n.now)
 	}
 	for _, r := range n.routers {
 		r.switchAllocate(n.now)
@@ -193,14 +226,70 @@ func (n *Network) Step() {
 	for _, e := range n.ejectors {
 		e.consume(n.now)
 	}
-	n.now++
-	n.stats.Cycles++
-	if n.now-n.injWindowStart >= 100 {
-		n.InjWindows = append(n.InjWindows, n.injWindowCount)
-		n.injWindowCount = 0
-		n.injWindowStart = n.now
+}
+
+// stepActive visits only components that hold flits. The activity
+// predicates are O(1) counters maintained at every flit hand-off:
+//
+//   - a router with flits == 0 has nothing buffered or staged, so RC/VA/SA
+//     are no-ops on it (vcWaitVC implies a buffered head flit, and the
+//     round-robin arbiters advance only on grants); the per-cycle rrVA
+//     rotation it would have performed is fast-forwarded on wake-up inside
+//     vcAllocate, and credits staged toward it stay in creditIn until its
+//     next applyArrivals — no decision can read them before then;
+//   - an NI with no queued flits can neither supply a flit nor change its
+//     time-weighted occupancy (the level is unchanged, and TimeWeighted.Set
+//     is idempotent for unchanged levels);
+//   - an ejector with no buffered or staged flits has nothing to drain.
+//
+// When no packet is in flight anywhere (InFlight == 0) the whole cycle is
+// skipped: every counter above is provably zero.
+func (n *Network) stepActive() {
+	if n.inFlight == 0 {
+		return
+	}
+	for _, r := range n.routers {
+		if r.flits > 0 {
+			r.applyArrivals(n.now)
+		}
+	}
+	for _, e := range n.ejectors {
+		if e.flits > 0 {
+			e.applyArrivals(n.now)
+		}
+	}
+	for _, ni := range n.nis {
+		if ni.totalQueuedFlits > 0 {
+			ni.step(n.now)
+		}
+	}
+	for _, r := range n.routers {
+		if r.flits > 0 {
+			r.routeCompute(n.now)
+		}
+	}
+	for _, r := range n.routers {
+		if r.flits > 0 {
+			r.vcAllocate(n.now)
+		}
+	}
+	for _, r := range n.routers {
+		if r.flits > 0 {
+			r.switchAllocate(n.now)
+		}
+	}
+	for _, e := range n.ejectors {
+		if e.flits > 0 {
+			e.consume(n.now)
+		}
 	}
 }
+
+// GetPacket returns a zeroed Packet from the network's freelist.
+func (n *Network) GetPacket() *Packet { return n.pool.get() }
+
+// PutPacket releases a delivered or rejected packet to the freelist.
+func (n *Network) PutPacket(p *Packet) { n.pool.put(p) }
 
 // InFlight returns packets accepted but not yet delivered.
 func (n *Network) InFlight() int { return n.inFlight }

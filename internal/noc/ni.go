@@ -262,6 +262,7 @@ func (ni *NI) deliver(f flit, p, v int, now int64) {
 	}
 	// The injection link is one cycle regardless of router pipeline depth.
 	ni.ports[p].arrivals = append(ni.ports[p].arrivals, stagedFlit{f: f, vc: v, deliverAt: now + 1})
+	ni.router.flits++
 	ni.injectedFlits++
 	ni.net.stats.InjLinkFlits++
 }

@@ -1,0 +1,33 @@
+package noc
+
+// pktPool is a per-fabric freelist of Packet structs. Reply traffic churns
+// through hundreds of packets per thousand cycles; recycling them through a
+// freelist removes the dominant steady-state allocation of the simulator
+// hot loop (the request/reply Packet per memory transaction) without any
+// cross-fabric sharing, so the pool needs no locking — each fabric belongs
+// to exactly one single-threaded simulation.
+type pktPool struct {
+	free []*Packet
+}
+
+// get returns a zeroed packet, recycling a released one when available.
+func (p *pktPool) get() *Packet {
+	if n := len(p.free); n > 0 {
+		pk := p.free[n-1]
+		p.free = p.free[:n-1]
+		*pk = Packet{}
+		return pk
+	}
+	return new(Packet)
+}
+
+// put releases a packet back to the freelist. The caller must guarantee no
+// live reference remains (delivery callback returned, or injection was
+// rejected before the fabric kept any flit of it).
+func (p *pktPool) put(pk *Packet) {
+	if pk == nil {
+		return
+	}
+	pk.Payload = nil
+	p.free = append(p.free, pk)
+}

@@ -118,6 +118,14 @@ type router struct {
 	rrVA      int
 	candBuf   []routeCandidate
 	prioArbOn bool
+
+	// flits counts flits resident in this router (input-VC buffers plus
+	// staged arrivals); it is the O(1) activity predicate of event-driven
+	// stepping and always equals what busy() recounts.
+	flits int
+	// lastVA is the cycle vcAllocate last ran, so the unconditional rrVA
+	// rotation of skipped cycles can be fast-forwarded on wake-up.
+	lastVA int64
 }
 
 func newRouter(net *Network, id int) *router {
@@ -127,6 +135,7 @@ func newRouter(net *Network, id int) *router {
 		net:       net,
 		id:        id,
 		prioArbOn: cfg.PriorityLevels >= 2,
+		lastVA:    -1,
 	}
 
 	numIn := NumDirections + nc.injPorts()
@@ -248,11 +257,23 @@ func (r *router) routeCompute(now int64) {
 // order for fairness. With ARI prioritisation enabled, higher-priority
 // waiters (freshly injected packets at MC-routers, §5) are served first so
 // they exit the hot region quickly.
-func (r *router) vcAllocate() {
+//
+// The rotating pointer rrVA advances once per simulated cycle whether or
+// not anything allocates, so a router skipped by event-driven stepping
+// first fast-forwards the rotations of the cycles it slept through; the
+// pointer is then exactly what the scan-everything loop would hold.
+func (r *router) vcAllocate(now int64) {
+	n := len(r.allVCs)
+	if n > 0 {
+		if skipped := now - 1 - r.lastVA; skipped > 0 {
+			r.rrVA = (r.rrVA + int(skipped%int64(n))) % n
+		}
+	}
 	r.vcAllocatePass(func(vc *inputVC) bool { return true })
-	if n := len(r.allVCs); n > 0 {
+	if n > 0 {
 		r.rrVA = (r.rrVA + 1) % n
 	}
+	r.lastVA = now
 }
 
 // vcAllocatePass attempts allocation for waiting VCs accepted by sel.
@@ -384,6 +405,7 @@ func (r *router) saEligible(vc *inputVC) bool {
 // ownership at the tail.
 func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	f := vc.buf.pop()
+	r.flits--
 	ov := &op.vcs[vc.outVC]
 	ov.credits--
 	op.flits++
@@ -395,9 +417,11 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	switch {
 	case op.destPort != nil:
 		op.destPort.arrivals = append(op.destPort.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
+		op.destPort.router.flits++
 		r.net.stats.MeshLinkFlits++
 	case op.eject != nil:
 		op.eject.arrivals = append(op.eject.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
+		op.eject.flits++
 	default:
 		panic("noc: output port with no destination")
 	}
@@ -418,7 +442,8 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 }
 
 // busy reports whether the router holds any flit in any input VC or staged
-// arrival (used for drain detection).
+// arrival (used for drain detection). It recounts what the flits counter
+// tracks incrementally; CheckInvariants asserts the two agree.
 func (r *router) busy() bool {
 	for _, ip := range r.in {
 		if len(ip.arrivals) > 0 {

@@ -1,0 +1,72 @@
+package simeq
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestEventDrivenMatchesScan is the differential gate for the event-driven
+// stepping: every suite kernel, under every covered reply-path variant,
+// must produce a byte-identical encoded Result with ScanStep on and off.
+// Any skipped component that was not actually idle — a router visited a
+// cycle late, an arbiter pointer not fast-forwarded, a DRAM clock left
+// behind — shows up here as a divergence.
+func TestEventDrivenMatchesScan(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, k := range trace.Suite() {
+				cfg := v.Apply(ShortConfig())
+
+				cfg.ScanStep = false
+				event := RunEncoded(t, cfg, k)
+				cfg.ScanStep = true
+				scan := RunEncoded(t, cfg, k)
+
+				if !bytes.Equal(event, scan) {
+					t.Fatalf("%s/%s: event-driven result differs from scan reference\n%s",
+						k.Name, v.Name, diffLine(event, scan))
+				}
+			}
+		})
+	}
+}
+
+// TestEventDrivenMatchesScanFixedWork repeats the differential on the
+// fixed-work entry point (RunWork), whose stop condition reads core
+// instruction counters every cycle and therefore exercises the core fast
+// path interleaved with measurement.
+func TestEventDrivenMatchesScanFixedWork(t *testing.T) {
+	kernels := []string{"bfs", "lud", "blackScholes"}
+	for _, name := range kernels {
+		k, err := trace.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range Variants() {
+			cfg := v.Apply(ShortConfig())
+
+			run := func(scan bool) []byte {
+				cfg.ScanStep = scan
+				sim, err := newSim(cfg, k)
+				if err != nil {
+					t.Fatalf("build %s/%s: %v", k.Name, v.Name, err)
+				}
+				res := sim.RunWork(20000, 2000)
+				enc, err := Encode(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return enc
+			}
+			event, scan := run(false), run(true)
+			if !bytes.Equal(event, scan) {
+				t.Fatalf("%s/%s: fixed-work event-driven result differs\n%s",
+					name, v.Name, diffLine(event, scan))
+			}
+		}
+	}
+}

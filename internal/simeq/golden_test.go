@@ -1,0 +1,76 @@
+package simeq
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.json from the current simulator")
+
+// goldenBenchmarks spans the three sensitivity classes (§6.2).
+var goldenBenchmarks = []string{"bfs", "lud", "blackScholes"}
+
+// goldenSchemes covers the mesh baseline, the full ARI design and the
+// DA2mesh overlay reply fabric.
+var goldenSchemes = []core.Scheme{core.XYBaseline, core.AdaARI, core.DA2MeshBase}
+
+// TestGoldenDeterminism runs each benchmark x scheme pair twice with the
+// same seed and requires byte-identical encoded Results, then pins the
+// encoding against the committed golden file. The first check catches
+// nondeterminism introduced within a binary (map iteration, pointer-keyed
+// ordering, uninitialised state); the second catches silent cross-commit
+// drift in the simulated model.
+func TestGoldenDeterminism(t *testing.T) {
+	doc := make(map[string]json.RawMessage, len(goldenBenchmarks)*len(goldenSchemes))
+	for _, name := range goldenBenchmarks {
+		k, err := trace.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range goldenSchemes {
+			cfg := ShortConfig()
+			cfg.Scheme = s
+
+			first := RunEncoded(t, cfg, k)
+			second := RunEncoded(t, cfg, k)
+			if !bytes.Equal(first, second) {
+				t.Fatalf("%s/%s: two runs with the same seed diverged\n%s",
+					name, s, diffLine(first, second))
+			}
+			doc[name+"/"+s.String()] = json.RawMessage(first)
+		}
+	}
+
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("results drifted from %s (intentional model changes need -update)\n%s",
+			path, diffLine(got, want))
+	}
+}

@@ -1,0 +1,12 @@
+package simeq
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// newSim wraps core.NewSimulator for tests needing the simulator itself
+// (e.g. to drive RunWork instead of Run).
+func newSim(cfg core.Config, k trace.Kernel) (*core.Simulator, error) {
+	return core.NewSimulator(cfg, k)
+}

@@ -6,9 +6,11 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -48,6 +50,27 @@ func (m *Mean) Count() uint64 { return m.count }
 func (m *Mean) Merge(o Mean) {
 	m.sum += o.sum
 	m.count += o.count
+}
+
+// MarshalJSON encodes the internal accumulators (not the derived mean) so
+// encoded results round-trip bit-exactly — the golden-file and equivalence
+// tests compare encoded bytes.
+func (m Mean) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"Sum":%s,"Count":%d}`,
+		strconv.FormatFloat(m.sum, 'g', -1, 64), m.count)), nil
+}
+
+// UnmarshalJSON restores the accumulators written by MarshalJSON.
+func (m *Mean) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Sum   float64
+		Count uint64
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	m.sum, m.count = aux.Sum, aux.Count
+	return nil
 }
 
 // Histogram is a fixed-width bucket histogram over [0, width*len(buckets)),

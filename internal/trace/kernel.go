@@ -10,6 +10,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -79,7 +80,25 @@ func (k Kernel) Validate() error {
 	if k.WarpsPerCore <= 0 {
 		return fmt.Errorf("trace: %s: WarpsPerCore must be positive", k.Name)
 	}
-	if k.ComputePerMem < 0 || k.ReadFrac < 0 || k.ReadFrac > 1 ||
+	// Cap occupancy: the generator allocates per-warp state, so an absurd
+	// value must fail validation instead of exhausting memory.
+	const maxWarpsPerCore = 4096
+	if k.WarpsPerCore > maxWarpsPerCore {
+		return fmt.Errorf("trace: %s: WarpsPerCore %d exceeds %d", k.Name, k.WarpsPerCore, maxWarpsPerCore)
+	}
+	// Reject non-finite parameters explicitly: NaN compares false against
+	// every bound, so it would slip through the range checks below.
+	for _, f := range [...]float64{k.ComputePerMem, k.ReadFrac, k.CoalesceMean, k.Locality, k.L2Frac} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("trace: %s: non-finite parameter", k.Name)
+		}
+	}
+	// Cap the geometric means: beyond this the sampler's float->int
+	// conversions stop being meaningful (and no workload needs them).
+	const maxMeanParam = 1e9
+	if k.ComputePerMem < 0 || k.ComputePerMem > maxMeanParam ||
+		k.ReadFrac < 0 || k.ReadFrac > 1 ||
+		k.CoalesceMean < 0 || k.CoalesceMean > maxMeanParam ||
 		k.Locality < 0 || k.Locality > 1 || k.L2Frac < 0 || k.L2Frac > 1 {
 		return fmt.Errorf("trace: %s: parameter out of range", k.Name)
 	}
