@@ -1,6 +1,6 @@
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check test bench fuzz
+.PHONY: check test bench fuzz soak
 
 # check is the full gate: build everything, vet, and run all tests with the
 # race detector (covers the equivalence, golden, property, and race suites).
@@ -17,6 +17,14 @@ test:
 bench:
 	go test ./internal/noc . -run '^$$' -bench 'NetworkStep|SimulatorStep' -benchmem \
 		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_$(DATE).json
+
+# soak runs the fault-injection robustness suites under -race: seeded NoC
+# fault schedules across schemes with invariants checked throughout, the
+# watchdog deadlock/starvation detectors, and deterministic replay under
+# faults (DESIGN.md §8).
+soak:
+	go test -race -count=1 ./internal/fault
+	go test -race -count=1 ./internal/core -run 'Watchdog|Fault|RunChecked|Truncated'
 
 # fuzz replays the committed corpora and then fuzzes each target briefly.
 fuzz:

@@ -7,17 +7,27 @@
 //	ariexp -fig 11 -cycles 20000  # longer measurement window
 //	ariexp -quick                 # fast smoke pass (short horizons)
 //	ariexp -v                     # per-run progress
+//	ariexp -bench bfs,srad        # restrict the suite to a benchmark subset
+//	ariexp -journal runs.jsonl    # resume an interrupted pass from a journal
+//	ariexp -timeout 5m            # fail any single run exceeding 5 minutes
+//
+// Every simulation executes under the harness watchdogs: a run that stops
+// making forward progress fails with a diagnostic dump instead of hanging
+// the whole figure pass, and a -journal'd pass that is killed resumes
+// without recomputing finished runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/trace"
 )
 
 // sanitize maps a figure id to a filesystem-safe name.
@@ -35,24 +45,40 @@ func sanitize(id string) string {
 }
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ariexp:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, regenerates the requested
+// figures and writes them to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ariexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig     = flag.String("fig", "all", "figure id or 'all'")
-		cycles  = flag.Int64("cycles", 10000, "measured NoC cycles per run")
-		warmup  = flag.Int64("warmup", 3000, "warmup NoC cycles per run")
-		quick   = flag.Bool("quick", false, "short horizons for a smoke pass")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		csvDir  = flag.String("csv", "", "also write each figure's table as CSV into this directory")
-		list    = flag.Bool("list", false, "list figure ids and exit")
+		fig     = fs.String("fig", "all", "figure id or 'all'")
+		cycles  = fs.Int64("cycles", 10000, "measured NoC cycles per run")
+		warmup  = fs.Int64("warmup", 3000, "warmup NoC cycles per run")
+		quick   = fs.Bool("quick", false, "short horizons for a smoke pass")
+		verbose = fs.Bool("v", false, "print per-run progress")
+		workers = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		seed    = fs.Uint64("seed", 1, "simulation seed")
+		csvDir  = fs.String("csv", "", "also write each figure's table as CSV into this directory")
+		list    = fs.Bool("list", false, "list figure ids and exit")
+		bench   = fs.String("bench", "", "comma-separated benchmark subset (default: full suite)")
+		journal = fs.String("journal", "", "JSONL result journal; an interrupted pass resumes from it")
+		timeout = fs.Duration("timeout", 0, "per-run wall-time limit (0 = unlimited)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, e := range exp.Registry() {
-			fmt.Println(e.ID)
+			fmt.Fprintln(stdout, e.ID)
 		}
-		return
+		return nil
 	}
 
 	r := exp.NewRunner()
@@ -60,12 +86,35 @@ func main() {
 	r.Base.WarmupCycles = *warmup
 	r.Base.Seed = *seed
 	r.Workers = *workers
+	r.RunTimeout = *timeout
 	if *quick {
 		r.Base.MeasureCycles = 3000
 		r.Base.WarmupCycles = 1000
 	}
 	if *verbose {
-		r.Progress = os.Stderr
+		r.Progress = stderr
+	}
+	if *bench != "" {
+		var subset []trace.Kernel
+		for _, name := range strings.Split(*bench, ",") {
+			k, err := trace.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			subset = append(subset, k)
+		}
+		r.Benchmarks = subset
+	}
+	if *journal != "" {
+		j, err := exp.OpenJournal(*journal)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		r.Journal = j
+		if j.Loaded() > 0 {
+			fmt.Fprintf(stderr, "ariexp: resuming, %d runs journalled in %s\n", j.Loaded(), j.Path())
+		}
 	}
 
 	start := time.Now()
@@ -78,24 +127,22 @@ func main() {
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "ariexp:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	for _, id := range ids {
 		f, err := exp.Generate(r, id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ariexp:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(f.String())
+		fmt.Fprintln(stdout, f.String())
 		if *csvDir != "" && f.Table != nil {
 			path := filepath.Join(*csvDir, "fig_"+sanitize(id)+".csv")
 			if err := os.WriteFile(path, []byte(f.Table.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "ariexp:", err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
-	fmt.Printf("(%d simulations, %s)\n", r.Runs(), time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "(%d simulations, %s)\n", r.Runs(), time.Since(start).Round(time.Millisecond))
+	return nil
 }

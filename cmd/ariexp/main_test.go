@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "3", "11", "area"} {
+		found := false
+		for _, line := range strings.Split(out.String(), "\n") {
+			if line == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("figure list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	for _, args := range [][]string{
+		{"-fig", "nosuchfigure"},
+		{"-bench", "nosuchbench", "-fig", "3"},
+		{"-nosuchflag"},
+	} {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunTinyFigure(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-fig", "3", "-quick", "-bench", "bfs", "-cycles", "300", "-warmup", "100"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"bfs", "simulations"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -11,36 +11,59 @@
 //	arisweep -param niqueue -bench srad              # NI queue 4..80 packets (Fig 6 axis)
 //	arisweep -param starvation -bench bfs            # §5 threshold sensitivity
 //	arisweep -param priolevels -bench bfs            # 1..6 levels (Fig 9 axis)
+//
+// Runs execute through the hardened experiment harness: each point runs
+// under the forward-progress watchdogs (a deadlocked configuration fails
+// with a diagnostic instead of hanging), -timeout bounds each run's wall
+// time, and -journal makes an interrupted sweep resumable without
+// recomputing finished points.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/noc"
 	"repro/internal/trace"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "arisweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, executes the sweep and
+// writes the table to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("arisweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		param  = flag.String("param", "speedup", "speedup | vcs | replink | mesh | niqueue | starvation | priolevels")
-		bench  = flag.String("bench", "bfs", "benchmark")
-		scheme = flag.String("scheme", "Ada-ARI", "scheme under sweep")
-		cycles = flag.Int64("cycles", 8000, "measured cycles")
-		warmup = flag.Int64("warmup", 2000, "warmup cycles")
-		seed   = flag.Uint64("seed", 1, "seed")
+		param   = fs.String("param", "speedup", "speedup | vcs | replink | mesh | niqueue | starvation | priolevels")
+		bench   = fs.String("bench", "bfs", "benchmark")
+		scheme  = fs.String("scheme", "Ada-ARI", "scheme under sweep")
+		cycles  = fs.Int64("cycles", 8000, "measured cycles")
+		warmup  = fs.Int64("warmup", 2000, "warmup cycles")
+		seed    = fs.Uint64("seed", 1, "seed")
+		journal = fs.String("journal", "", "JSONL result journal; an interrupted sweep resumes from it")
+		timeout = fs.Duration("timeout", 0, "per-run wall-time limit (0 = unlimited)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	kernel, err := trace.ByName(*bench)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sch, err := parseScheme(*scheme)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	base := core.DefaultConfig()
@@ -105,18 +128,30 @@ func main() {
 			add(fmt.Sprintf("L=%d", l), func(c *core.Config) { c.PriorityLevels = l })
 		}
 	default:
-		fatal(fmt.Errorf("unknown -param %q", *param))
+		return fmt.Errorf("unknown -param %q", *param)
 	}
 
-	fmt.Printf("sweep %s on %s (%s), %d measured cycles\n\n", *param, *bench, sch, *cycles)
-	fmt.Printf("%-10s %10s %10s %14s %12s\n", *param, "IPC", "vs first", "stall/reply", "rep latency")
+	runner := &exp.Runner{Base: base, RunTimeout: *timeout}
+	if *journal != "" {
+		j, err := exp.OpenJournal(*journal)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		runner.Journal = j
+		if j.Loaded() > 0 {
+			fmt.Fprintf(stderr, "arisweep: resuming, %d runs journalled in %s\n", j.Loaded(), j.Path())
+		}
+	}
+
+	fmt.Fprintf(stdout, "sweep %s on %s (%s), %d measured cycles\n\n", *param, *bench, sch, *cycles)
+	fmt.Fprintf(stdout, "%-10s %10s %10s %14s %12s\n", *param, "IPC", "vs first", "stall/reply", "rep latency")
 	var first float64
 	for _, p := range points {
-		sim, err := core.NewSimulator(p.cfg, kernel)
+		r, err := runner.Run(p.cfg, kernel)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		r := sim.Run()
 		if first == 0 {
 			first = r.IPC
 		}
@@ -124,10 +159,11 @@ func main() {
 		if r.RepliesSent > 0 {
 			stall = float64(r.MCStallTime) / float64(r.RepliesSent)
 		}
-		fmt.Printf("%-10s %10.3f %+9.1f%% %14.1f %12.1f\n",
+		fmt.Fprintf(stdout, "%-10s %10.3f %+9.1f%% %14.1f %12.1f\n",
 			p.label, r.IPC, 100*(r.IPC/first-1), stall,
 			r.Rep.AvgLatency(noc.ReadReply, noc.WriteReply))
 	}
+	return nil
 }
 
 func parseScheme(s string) (core.Scheme, error) {
@@ -137,9 +173,4 @@ func parseScheme(s string) (core.Scheme, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown scheme %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "arisweep:", err)
-	os.Exit(1)
 }

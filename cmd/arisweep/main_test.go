@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	for _, args := range [][]string{
+		{"-param", "nosuchparam"},
+		{"-bench", "nosuchbench"},
+		{"-scheme", "nosuchscheme"},
+		{"-nosuchflag"},
+	} {
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunSpeedupSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-param", "speedup", "-bench", "bfs", "-cycles", "300", "-warmup", "100"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"sweep speedup on bfs", "S=1", "S=4", "IPC"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunJournalledSweepResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	args := []string{"-param", "vcs", "-bench", "bfs", "-cycles", "300", "-warmup", "100", "-journal", path}
+
+	var out1, err1 bytes.Buffer
+	if err := run(args, &out1, &err1); err != nil {
+		t.Fatalf("first pass: %v", err)
+	}
+	// Second invocation must replay entirely from the journal and print the
+	// identical table.
+	var out2, err2 bytes.Buffer
+	if err := run(args, &out2, &err2); err != nil {
+		t.Fatalf("second pass: %v", err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("journalled rerun diverged:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(err2.String(), "resuming") {
+		t.Errorf("second pass did not report resuming:\n%s", err2.String())
+	}
+}

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -168,6 +169,19 @@ type Config struct {
 	WarmupCycles  int64
 	MeasureCycles int64
 
+	// Fault configures deterministic, seeded NoC fault injection (transient
+	// link stalls, input-port freezes, NI backpressure bursts — see
+	// internal/fault). Fault.Seed 0 inherits Seed. Faults apply to the mesh
+	// networks; schemes whose reply fabric is the DA2mesh overlay or the
+	// ideal fabric get request-side faults only.
+	Fault fault.Config
+
+	// NoCCheckEvery, when positive, runs noc.CheckInvariants on both mesh
+	// networks every N cycles from inside their Step, panicking on the
+	// first violation. Opt-in self-check for test suites and soaks; see
+	// also CheckOptions.InvariantEvery for the error-returning variant.
+	NoCCheckEvery int64
+
 	// ScanStep forces the scan-everything stepping loops in both networks,
 	// the cores and the MCs. The default event-driven stepping is
 	// bit-identical (internal/simeq proves it); the flag keeps the reference
@@ -228,6 +242,11 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
 		return fmt.Errorf("core: invalid horizon warmup=%d measure=%d", c.WarmupCycles, c.MeasureCycles)
+	}
+	if c.Fault.Enabled {
+		if _, err := c.Fault.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.Core.Validate()
 }

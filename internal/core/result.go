@@ -30,6 +30,15 @@ type Result struct {
 	Instructions   uint64
 	IPC            float64 // aggregate warp-instructions per core cycle
 
+	// Truncated reports that a fixed-work run (RunWork/RunWorkChecked) hit
+	// its maxCycles guard before retiring the requested instructions, so
+	// MeasuredCycles understates the true execution time.
+	Truncated bool
+
+	// FaultEvents counts injected NoC faults when fault injection was
+	// enabled (request + reply side).
+	FaultEvents int
+
 	// Networks (copies of the per-fabric stats).
 	Req noc.NetStats
 	Rep noc.NetStats
@@ -97,6 +106,13 @@ func (s *Simulator) collect() Result {
 
 	r.Req = *s.reqNet.Stats()
 	r.Rep = *s.repNet.Stats()
+
+	if s.reqFault != nil {
+		r.FaultEvents += len(s.reqFault.Events())
+	}
+	if s.repFault != nil {
+		r.FaultEvents += len(s.repFault.Events())
+	}
 
 	switch rep := s.repNet.(type) {
 	case *noc.Network:

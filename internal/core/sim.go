@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -34,6 +35,11 @@ type Simulator struct {
 
 	cores []*gpu.Core
 	mcs   []*mem.Controller
+
+	// reqFault/repFault drive the deterministic fault schedules when
+	// Config.Fault is enabled (mesh fabrics only).
+	reqFault *fault.Injector
+	repFault *fault.Injector
 
 	coreClock *timing.Clock
 	memClock  *timing.Clock
@@ -97,7 +103,34 @@ func NewSimulatorWorkload(cfg Config, k trace.Kernel, w trace.Workload) (*Simula
 	if err := s.buildNodes(); err != nil {
 		return nil, err
 	}
+	if err := s.buildFaultInjectors(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// buildFaultInjectors attaches the deterministic fault schedules when
+// Config.Fault is enabled. Faults apply to mesh networks only: the DA2mesh
+// overlay and the ideal fabric are behavioural models without per-link
+// state, so the reply side is skipped for those schemes.
+func (s *Simulator) buildFaultInjectors() error {
+	if !s.cfg.Fault.Enabled {
+		return nil
+	}
+	fcfg := s.cfg.Fault
+	if fcfg.Seed == 0 {
+		fcfg.Seed = s.cfg.Seed
+	}
+	var err error
+	if s.reqFault, err = fault.NewInjector(fcfg, s.reqNet, 1); err != nil {
+		return fmt.Errorf("core: request fault injector: %w", err)
+	}
+	if rep, ok := s.repNet.(*noc.Network); ok {
+		if s.repFault, err = fault.NewInjector(fcfg, rep, 2); err != nil {
+			return fmt.Errorf("core: reply fault injector: %w", err)
+		}
+	}
+	return nil
 }
 
 // buildNetworks wires the request mesh and the scheme's reply fabric.
@@ -115,6 +148,7 @@ func (s *Simulator) buildNetworks() error {
 		NonAtomicVC: true,
 		EjectRate:   cfg.EjectRate,
 		ScanStep:    cfg.ScanStep,
+		CheckEvery:  cfg.NoCCheckEvery,
 	}
 	reqNet, err := noc.NewNetwork(reqCfg)
 	if err != nil {
@@ -133,6 +167,7 @@ func (s *Simulator) buildNetworks() error {
 		NIQueueFlits: cfg.NIQueueFlits,
 		EjectRate:    cfg.EjectRate,
 		ScanStep:     cfg.ScanStep,
+		CheckEvery:   cfg.NoCCheckEvery,
 	}
 	if cfg.Scheme.hasPriority() {
 		repCfg.PriorityLevels = cfg.PriorityLevels
@@ -302,7 +337,13 @@ func (s *Simulator) Step() {
 			mc.SkipIdle(memTicks)
 		}
 	}
+	if s.reqFault != nil {
+		s.reqFault.Step(s.cycle)
+	}
 	s.reqNet.Step()
+	if s.repFault != nil {
+		s.repFault.Step(s.cycle)
+	}
 	s.repNet.Step()
 	s.cycle++
 }
@@ -341,45 +382,89 @@ func (s *Simulator) resetStats() {
 }
 
 // Run executes warmup + a fixed-horizon measurement window and returns the
-// collected result.
+// collected result. It never fails: all watchdogs are disabled, so a
+// deadlocked simulation spins forever — use RunChecked anywhere a hang is
+// unacceptable (the experiment harness always does).
 func (s *Simulator) Run() Result {
+	r, _ := s.RunChecked(uncheckedOptions())
+	return r
+}
+
+// RunChecked is Run with forward-progress watchdogs: it detects deadlock
+// (flits in flight, zero movement for CheckOptions.DeadlockCycles) and
+// livelock/starvation (a packet older than CheckOptions.PacketAgeCap) and
+// fails with a structured *WatchdogError carrying a full diagnostic dump
+// instead of spinning. A healthy simulation produces a Result bit-identical
+// to Run's: the watchdog only reads.
+func (s *Simulator) RunChecked(opt CheckOptions) (Result, error) {
+	w := newWatchdog(s, opt)
 	for s.cycle < s.cfg.WarmupCycles {
 		s.Step()
+		if err := w.poll(); err != nil {
+			return Result{}, err
+		}
 	}
 	s.resetStats()
 	s.measuring = true
 	end := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	for s.cycle < end {
 		s.Step()
+		if err := w.poll(); err != nil {
+			return Result{}, err
+		}
 	}
 	s.measuring = false
 	s.measuredCycles = s.cfg.MeasureCycles
-	return s.collect()
+	return s.collect(), nil
 }
 
 // RunWork executes warmup, then measures until the cores have retired
 // `instructions` warp-instructions in total (fixed-work mode: the basis the
 // paper's execution-time and energy comparisons use), bounded by maxCycles
 // as a runaway guard. The result's MeasuredCycles reflects the actual
-// window, so lower is faster for the same work.
+// window, so lower is faster for the same work; Result.Truncated reports
+// whether the guard clipped the run before the work completed. Watchdogs
+// are disabled — see RunWorkChecked.
 func (s *Simulator) RunWork(instructions uint64, maxCycles int64) Result {
+	r, _ := s.RunWorkChecked(instructions, maxCycles, uncheckedOptions())
+	return r
+}
+
+// RunWorkChecked is RunWork with the forward-progress watchdogs of
+// RunChecked. A run clipped by maxCycles is not an error — the Result comes
+// back with Truncated set so callers can decide.
+func (s *Simulator) RunWorkChecked(instructions uint64, maxCycles int64, opt CheckOptions) (Result, error) {
+	w := newWatchdog(s, opt)
 	for s.cycle < s.cfg.WarmupCycles {
 		s.Step()
+		if err := w.poll(); err != nil {
+			return Result{}, err
+		}
 	}
 	s.resetStats()
 	s.measuring = true
 	start := s.cycle
+	truncated := false
 	for {
 		var done uint64
 		for _, c := range s.cores {
 			done += c.Instructions
 		}
-		if done >= instructions || s.cycle-start >= maxCycles {
+		if done >= instructions {
+			break
+		}
+		if s.cycle-start >= maxCycles {
+			truncated = true
 			break
 		}
 		s.Step()
+		if err := w.poll(); err != nil {
+			return Result{}, err
+		}
 	}
 	s.measuring = false
 	s.measuredCycles = s.cycle - start
-	return s.collect()
+	r := s.collect()
+	r.Truncated = truncated
+	return r, nil
 }

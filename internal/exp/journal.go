@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// journalVersion is bumped whenever the serialised Result or the key schema
+// changes shape; entries from another version are ignored on load so a
+// stale journal can never smuggle incompatible results into a sweep.
+const journalVersion = 1
+
+// journalEntry is one completed run, one JSON object per line (JSONL).
+type journalEntry struct {
+	V      int         `json:"v"`
+	Key    string      `json:"key"`
+	Bench  string      `json:"bench"`
+	Scheme string      `json:"scheme"`
+	Result core.Result `json:"result"`
+}
+
+// Journal is an opt-in on-disk result journal for the Runner: every
+// finished run is appended as one JSON line and flushed before the result
+// is handed to the caller, so a killed sweep resumes from the journal
+// without recomputing finished runs.
+//
+// Crash safety: entries are self-delimiting lines; a process killed
+// mid-append leaves at most one truncated final line, which OpenJournal
+// skips (everything before it is intact). Resumed runs are byte-identical
+// to fresh ones because the serialised Result round-trips losslessly.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]core.Result
+	loaded  int
+}
+
+// OpenJournal opens (or creates) the journal at path and loads every intact
+// entry. A truncated or corrupt trailing line — the signature of a killed
+// process — is skipped silently; a corrupt line in the middle of the file
+// only costs that one entry.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: open journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, entries: make(map[string]core.Result)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		var e journalEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.V != journalVersion || e.Key == "" {
+			continue // truncated tail or foreign line: recompute that run
+		}
+		j.entries[e.Key] = e.Result
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exp: read journal: %w", err)
+	}
+	// Append from the end regardless of where the scanner stopped.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exp: seek journal: %w", err)
+	}
+	j.loaded = len(j.entries)
+	return j, nil
+}
+
+// Len returns the number of loaded + recorded entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Loaded returns how many entries the journal held when opened (i.e. how
+// many runs a resumed sweep skips).
+func (j *Journal) Loaded() int { return j.loaded }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// lookup returns the journalled result for key, if present.
+func (j *Journal) lookup(key string) (core.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.entries[key]
+	return r, ok
+}
+
+// record appends one finished run and syncs it to disk before returning, so
+// a crash immediately after never loses it.
+func (j *Journal) record(key string, res core.Result) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("exp: journal %s is closed", j.path)
+	}
+	if _, ok := j.entries[key]; ok {
+		return nil
+	}
+	line, err := json.Marshal(journalEntry{
+		V:      journalVersion,
+		Key:    key,
+		Bench:  res.Benchmark,
+		Scheme: res.Scheme.String(),
+		Result: res,
+	})
+	if err != nil {
+		return fmt.Errorf("exp: encode journal entry: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("exp: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("exp: sync journal: %w", err)
+	}
+	j.entries[key] = res
+	return nil
+}
+
+// jobKey derives the journal key for one (config, benchmark) run: a SHA-256
+// over the canonical JSON of both, so any config change — scheme, horizons,
+// seed, fault schedule — keys a distinct entry.
+func jobKey(cfg core.Config, bench string) string {
+	b, err := json.Marshal(struct {
+		V     int
+		Cfg   core.Config
+		Bench string
+	}{journalVersion, cfg, bench})
+	if err != nil {
+		// core.Config is a plain data struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("exp: marshal job key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -9,17 +9,29 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/trace"
 )
 
 // Runner executes simulations with memoisation and bounded parallelism.
+//
+// It is hardened against misbehaving runs: every simulation executes under
+// core.RunChecked's forward-progress watchdogs (a deadlock fails with a
+// diagnostic instead of hanging the sweep), a panicking run is recovered
+// into an error naming the (benchmark, scheme) pair, dispatch stops at the
+// first failure and all collected failures are returned joined, and an
+// opt-in Journal persists finished runs so a killed sweep resumes where it
+// stopped.
 type Runner struct {
 	// Base is the configuration template; figure code overrides fields.
 	Base core.Config
@@ -30,6 +42,16 @@ type Runner struct {
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 
+	// RunTimeout bounds each simulation's wall time (0 = unlimited). A run
+	// that exceeds it fails the sweep with an error naming the run.
+	RunTimeout time.Duration
+	// Checks configures the per-run watchdogs; the zero value enables the
+	// default deadlock/starvation thresholds (see core.CheckOptions).
+	Checks core.CheckOptions
+	// Journal, when non-nil, persists every finished run and pre-seeds the
+	// cache on lookup, making sweeps resumable across process kills.
+	Journal *Journal
+
 	mu    sync.Mutex
 	cache map[runKey]core.Result
 	runs  int
@@ -39,6 +61,10 @@ type runKey struct {
 	cfg   core.Config
 	bench string
 }
+
+// newSimulator is a seam for tests that need a run to fail or panic on
+// demand; production code never reassigns it.
+var newSimulator = core.NewSimulator
 
 // NewRunner returns a Runner over the full suite with Table I defaults and
 // harness-appropriate horizons.
@@ -74,17 +100,34 @@ func (r *Runner) Run(cfg core.Config, k trace.Kernel) (core.Result, error) {
 // RunAll executes the jobs (deduplicated against the cache) on the worker
 // pool and returns results in job order.
 func (r *Runner) RunAll(jobs []Job) ([]core.Result, error) {
+	return r.RunAllContext(context.Background(), jobs)
+}
+
+// RunAllContext is RunAll under a context: cancelling ctx interrupts every
+// in-flight simulation at its next watchdog poll and stops dispatch. On any
+// failure, dispatch of not-yet-started jobs stops immediately and the
+// joined errors of every failed run (plus ctx's error, if cancelled) are
+// returned.
+func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) ([]core.Result, error) {
 	r.mu.Lock()
 	if r.cache == nil {
 		r.cache = make(map[runKey]core.Result)
 	}
-	// Collect the distinct keys that still need simulating.
+	// Collect the distinct keys that still need simulating; the journal
+	// fills the cache for runs a previous (possibly killed) sweep finished.
 	need := make(map[runKey]Job)
 	for _, j := range jobs {
 		k := runKey{cfg: j.Cfg, bench: j.Kernel.Name}
-		if _, ok := r.cache[k]; !ok {
-			need[k] = j
+		if _, ok := r.cache[k]; ok {
+			continue
 		}
+		if r.Journal != nil {
+			if res, ok := r.Journal.lookup(jobKey(j.Cfg, j.Kernel.Name)); ok {
+				r.cache[k] = res
+				continue
+			}
+		}
+		need[k] = j
 	}
 	r.mu.Unlock()
 
@@ -107,42 +150,57 @@ func (r *Runner) RunAll(jobs []Job) ([]core.Result, error) {
 		if workers > len(keys) {
 			workers = len(keys)
 		}
+
+		// fail is closed once, on the first failure; dispatch selects on it
+		// so queued jobs are abandoned rather than started.
+		fail := make(chan struct{})
+		var failOnce sync.Once
+		var errMu sync.Mutex
+		var errs []error
+		report := func(err error) {
+			errMu.Lock()
+			errs = append(errs, err)
+			errMu.Unlock()
+			failOnce.Do(func() { close(fail) })
+		}
+
 		var wg sync.WaitGroup
 		ch := make(chan runKey)
-		errCh := make(chan error, len(keys))
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for k := range ch {
-					res, err := r.simulate(need[k])
+					res, err := r.simulate(ctx, need[k])
 					if err != nil {
-						errCh <- err
+						report(err)
 						continue
 					}
-					r.mu.Lock()
-					r.cache[k] = res
-					r.runs++
-					// The progress write stays under the mutex: workers
-					// share r.Progress, and io.Writer implementations
-					// (bytes.Buffer, files with buffering) are not safe
-					// for concurrent use.
-					if r.Progress != nil {
-						fmt.Fprintf(r.Progress, "run %3d: %-16s %-20s IPC=%.3f\n",
-							r.runs, k.bench, res.Scheme, res.IPC)
+					if err := r.finish(k, res); err != nil {
+						report(err)
 					}
-					r.mu.Unlock()
 				}
 			}()
 		}
+	dispatch:
 		for _, k := range keys {
-			ch <- k
+			select {
+			case ch <- k:
+			case <-fail:
+				break dispatch
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(ch)
 		wg.Wait()
-		close(errCh)
-		if err := <-errCh; err != nil {
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			errMu.Lock()
+			errs = append(errs, err)
+			errMu.Unlock()
+		}
+		if len(errs) > 0 {
+			return nil, errors.Join(errs...)
 		}
 	}
 
@@ -159,13 +217,67 @@ func (r *Runner) RunAll(jobs []Job) ([]core.Result, error) {
 	return out, nil
 }
 
-// simulate executes one uncached run.
-func (r *Runner) simulate(j Job) (core.Result, error) {
-	sim, err := core.NewSimulator(j.Cfg, j.Kernel)
-	if err != nil {
-		return core.Result{}, fmt.Errorf("exp: %s/%s: %w", j.Kernel.Name, j.Cfg.Scheme, err)
+// finish publishes one completed run: journal first (synced to disk), then
+// cache + progress, so a crash between the two at worst recomputes nothing.
+func (r *Runner) finish(k runKey, res core.Result) error {
+	if r.Journal != nil {
+		if err := r.Journal.record(jobKey(k.cfg, k.bench), res); err != nil {
+			return err
+		}
 	}
-	return sim.Run(), nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache[k] = res
+	r.runs++
+	// The progress write stays under the mutex: workers share r.Progress,
+	// and io.Writer implementations (bytes.Buffer, files with buffering)
+	// are not safe for concurrent use.
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "run %3d: %-16s %-20s IPC=%.3f\n",
+			r.runs, k.bench, res.Scheme, res.IPC)
+	}
+	return nil
+}
+
+// simulate executes one uncached run under the watchdogs, the per-run
+// timeout and ctx. A panic anywhere inside the simulation is recovered into
+// an error naming the run, so one poisoned configuration cannot kill a
+// whole sweep's process.
+func (r *Runner) simulate(ctx context.Context, j Job) (res core.Result, err error) {
+	name := fmt.Sprintf("%s/%s", j.Kernel.Name, j.Cfg.Scheme)
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exp: %s: panic: %v\n%s", name, p, debug.Stack())
+		}
+	}()
+
+	opt := r.Checks
+	var deadline time.Time
+	if r.RunTimeout > 0 {
+		deadline = time.Now().Add(r.RunTimeout)
+	}
+	opt.Interrupt = func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	sim, err := newSimulator(j.Cfg, j.Kernel)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("exp: %s: %w", name, err)
+	}
+	res, err = sim.RunChecked(opt)
+	if err != nil {
+		if errors.Is(err, core.ErrInterrupted) {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return core.Result{}, fmt.Errorf("exp: %s: %w", name, ctxErr)
+			}
+			return core.Result{}, fmt.Errorf("exp: %s: timed out after %s", name, r.RunTimeout)
+		}
+		return core.Result{}, fmt.Errorf("exp: %s: %w", name, err)
+	}
+	return res, nil
 }
 
 // withScheme returns the base config with the scheme set.

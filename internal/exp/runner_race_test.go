@@ -18,6 +18,9 @@ func TestRunnerProgressConcurrent(t *testing.T) {
 	r.Workers = 4
 	r.Base.WarmupCycles = 100
 	r.Base.MeasureCycles = 200
+	// Sweep the NoC invariant checker through the concurrent runs too, so
+	// the race suite doubles as a consistency soak.
+	r.Checks.InvariantEvery = 64
 	var buf bytes.Buffer
 	r.Progress = &buf
 

@@ -1,0 +1,235 @@
+// Package fault is deterministic, seeded fault injection for the NoC. It
+// models three transient hardware fault classes as bounded service stalls on
+// a *noc.Network:
+//
+//   - link stalls: a router output link (mesh or ejection) grants nothing
+//     for a bounded window (noc.Network.StallLink);
+//   - input-port freezes: a router input port's VCs stop bidding for the
+//     switch (noc.Network.FreezeInputPort);
+//   - NI backpressure bursts: a node's NI supplies no flits, backing its
+//     queues up into the node logic (noc.Network.StallNISupply).
+//
+// Every fault is a pure service stall — buffers, credits and ownership are
+// never touched — so credit-based wormhole flow control must absorb it with
+// zero flit loss and noc.CheckInvariants clean at every boundary; the soak
+// tests in this package pin exactly that. All randomness flows through
+// internal/rng, so a (Config, seed) pair replays the identical fault
+// schedule and the simulation stays bit-for-bit reproducible.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/rng"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+const (
+	// LinkStall stalls one router output link.
+	LinkStall Kind = iota
+	// PortFreeze freezes one router mesh input port.
+	PortFreeze
+	// NIStall stalls one node's NI supply.
+	NIStall
+	numKinds
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkStall:
+		return "link-stall"
+	case PortFreeze:
+		return "port-freeze"
+	case NIStall:
+		return "ni-stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Config parameterises one injector. The zero value injects nothing.
+type Config struct {
+	// Enabled gates injection entirely (so a Config can ride inside a larger
+	// configuration struct without being active).
+	Enabled bool
+	// Seed seeds the fault schedule. Injectors split per-network streams off
+	// it, so request- and reply-side schedules are decorrelated but both
+	// fully determined by (Config, Seed).
+	Seed uint64
+
+	// LinkStallProb, PortFreezeProb and NIStallProb are per-cycle
+	// probabilities of starting one fault of that kind somewhere in the
+	// network (one Bernoulli draw per kind per cycle, not per component).
+	LinkStallProb  float64
+	PortFreezeProb float64
+	NIStallProb    float64
+
+	// MinDuration and MaxDuration bound each fault's length in cycles
+	// (inclusive). Zero values default to [8, 64].
+	MinDuration int
+	MaxDuration int
+
+	// MaxConcurrent caps simultaneously active faults (0 = 8). The cap keeps
+	// a high-probability configuration from freezing the whole mesh at once,
+	// which would read as a watchdog deadlock rather than a transient fault.
+	MaxConcurrent int
+}
+
+// Validate checks bounds and fills defaults, returning the normalised config.
+func (c Config) Validate() (Config, error) {
+	for _, p := range []float64{c.LinkStallProb, c.PortFreezeProb, c.NIStallProb} {
+		if p < 0 || p > 1 {
+			return c, fmt.Errorf("fault: probability %v outside [0,1]", p)
+		}
+	}
+	if c.MinDuration < 0 || c.MaxDuration < 0 {
+		return c, fmt.Errorf("fault: negative duration bounds [%d,%d]", c.MinDuration, c.MaxDuration)
+	}
+	if c.MinDuration == 0 {
+		c.MinDuration = 8
+	}
+	if c.MaxDuration == 0 {
+		c.MaxDuration = 64
+	}
+	if c.MaxDuration < c.MinDuration {
+		return c, fmt.Errorf("fault: MaxDuration %d < MinDuration %d", c.MaxDuration, c.MinDuration)
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 8
+	}
+	return c, nil
+}
+
+// SoakConfig returns the stress configuration the fault soak suites use:
+// frequent, short, overlapping faults of all three kinds.
+func SoakConfig(seed uint64) Config {
+	return Config{
+		Enabled:        true,
+		Seed:           seed,
+		LinkStallProb:  0.05,
+		PortFreezeProb: 0.03,
+		NIStallProb:    0.03,
+		MinDuration:    4,
+		MaxDuration:    48,
+		MaxConcurrent:  6,
+	}
+}
+
+// Event records one injected fault for replay verification and diagnostics.
+type Event struct {
+	Cycle    int64
+	Kind     Kind
+	Node     int
+	Port     int // output port (LinkStall), input port (PortFreeze), -1 (NIStall)
+	Duration int
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	if e.Port < 0 {
+		return fmt.Sprintf("cycle %d: %s node %d for %d cycles", e.Cycle, e.Kind, e.Node, e.Duration)
+	}
+	return fmt.Sprintf("cycle %d: %s node %d port %d for %d cycles", e.Cycle, e.Kind, e.Node, e.Port, e.Duration)
+}
+
+// Injector drives one network's fault schedule. Call Step(now) once per
+// cycle immediately before the network's own Step; the injector draws the
+// cycle's faults and applies them through the network's fault hooks.
+type Injector struct {
+	cfg     Config
+	net     *noc.Network
+	src     *rng.Source
+	nodes   int
+	events  []Event
+	expires []int64 // active-fault expiry cycles (pruned each Step)
+}
+
+// NewInjector builds an injector for net. streamTag decorrelates multiple
+// injectors sharing one seed (e.g. request vs reply network).
+func NewInjector(cfg Config, net *noc.Network, streamTag uint64) (*Injector, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Injector{
+		cfg:   cfg,
+		net:   net,
+		src:   rng.New(cfg.Seed).Split(streamTag),
+		nodes: net.Config().Mesh.Nodes(),
+	}, nil
+}
+
+// Step draws and applies this cycle's faults. It must be called with the
+// network's current cycle, before net.Step().
+func (in *Injector) Step(now int64) {
+	if !in.cfg.Enabled {
+		return
+	}
+	// Prune expired faults from the concurrency ledger.
+	kept := in.expires[:0]
+	for _, e := range in.expires {
+		if e > now {
+			kept = append(kept, e)
+		}
+	}
+	in.expires = kept
+
+	// One Bernoulli draw per kind per cycle, in fixed order, so the stream
+	// consumption — and therefore the schedule — is deterministic.
+	for k := Kind(0); k < numKinds; k++ {
+		p := 0.0
+		switch k {
+		case LinkStall:
+			p = in.cfg.LinkStallProb
+		case PortFreeze:
+			p = in.cfg.PortFreezeProb
+		case NIStall:
+			p = in.cfg.NIStallProb
+		}
+		if !in.src.Bool(p) {
+			continue
+		}
+		if len(in.expires) >= in.cfg.MaxConcurrent {
+			continue // draw consumed above: the schedule stays aligned
+		}
+		in.apply(k, now)
+	}
+}
+
+// apply draws the fault's site and duration and installs it.
+func (in *Injector) apply(k Kind, now int64) {
+	node := in.src.Intn(in.nodes)
+	dur := in.cfg.MinDuration + in.src.Intn(in.cfg.MaxDuration-in.cfg.MinDuration+1)
+	until := now + int64(dur)
+	port := -1
+	switch k {
+	case LinkStall:
+		port = in.src.Intn(noc.NumDirections + 1) // mesh links + ejection link
+		in.net.StallLink(node, port, until)
+	case PortFreeze:
+		port = in.src.Intn(noc.NumDirections) // mesh input ports
+		in.net.FreezeInputPort(node, port, until)
+	case NIStall:
+		in.net.StallNISupply(node, until)
+	}
+	in.events = append(in.events, Event{Cycle: now, Kind: k, Node: node, Port: port, Duration: dur})
+	in.expires = append(in.expires, until)
+}
+
+// Events returns the injected-fault log in injection order.
+func (in *Injector) Events() []Event { return in.events }
+
+// Active returns the number of faults still in force at cycle now.
+func (in *Injector) Active(now int64) int {
+	active := 0
+	for _, e := range in.expires {
+		if e > now {
+			active++
+		}
+	}
+	return active
+}

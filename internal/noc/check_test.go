@@ -6,7 +6,15 @@ import "testing"
 // few cycles, across a matrix of configurations.
 func runChecked(t *testing.T, mutate func(*Config), cycles int, seed uint64) {
 	t.Helper()
-	n := newTestNet(t, mutate)
+	n := newTestNet(t, func(c *Config) {
+		// Also exercise the opt-in in-Step invariant gate (Config.CheckEvery),
+		// which panics on the first violation; the explicit checks below then
+		// report the cycle when one slips through off-period.
+		c.CheckEvery = 16
+		if mutate != nil {
+			mutate(c)
+		}
+	})
 	cfg := n.Config()
 	n.SetEjectHandler(func(int, *Packet, int64) {})
 	next := func(mod int) int {

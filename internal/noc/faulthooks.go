@@ -1,0 +1,75 @@
+package noc
+
+import "fmt"
+
+// Fault hooks: the attachment points internal/fault drives. Every fault is a
+// pure service stall — it suppresses arbitration or supply for a bounded
+// window but never touches buffers, credits or ownership, so credit-based
+// flow control absorbs it with zero flit loss and CheckInvariants stays
+// clean at every fault boundary. Overlapping faults on the same component
+// extend to the furthest horizon.
+
+// StallLink stalls output port `port` of node's router until cycle `until`:
+// switch allocation never grants the output while stalled, so no flit
+// traverses the link (a transient link failure). Ports 0..NumDirections-1
+// are the mesh links; port NumDirections is the local ejection link.
+func (n *Network) StallLink(node, port int, until int64) {
+	if port < 0 || port >= numOutPorts {
+		panic(fmt.Sprintf("noc: StallLink port %d out of range [0,%d)", port, numOutPorts))
+	}
+	op := n.routers[node].out[port]
+	if until > op.stalledUntil {
+		op.stalledUntil = until
+	}
+}
+
+// FreezeInputPort freezes input port `port` of node's router until cycle
+// `until`: none of its VCs may bid for the switch while frozen, so buffered
+// flits sit still and upstream credits stop returning (an input-port
+// failure). Ports 0..NumDirections-1 are the mesh inputs; higher indices are
+// the injection ports.
+func (n *Network) FreezeInputPort(node, port int, until int64) {
+	r := n.routers[node]
+	if port < 0 || port >= len(r.in) {
+		panic(fmt.Sprintf("noc: FreezeInputPort port %d out of range [0,%d)", port, len(r.in)))
+	}
+	ip := r.in[port]
+	if until > ip.frozenUntil {
+		ip.frozenUntil = until
+	}
+}
+
+// StallNISupply stalls node's NI until cycle `until`: it supplies no flits
+// to the router, so its queues back up and Offer rejections propagate the
+// backpressure burst to the node logic (MC data stalls, core send stalls).
+func (n *Network) StallNISupply(node int, until int64) {
+	ni := n.nis[node]
+	if until > ni.stalledUntil {
+		ni.stalledUntil = until
+	}
+}
+
+// FaultHorizon returns the furthest fault expiry cycle over all components,
+// or 0 when no fault was ever applied. Drain loops use it to know when all
+// service stalls have lapsed.
+func (n *Network) FaultHorizon() int64 {
+	var h int64
+	for _, r := range n.routers {
+		for _, op := range r.out {
+			if op.stalledUntil > h {
+				h = op.stalledUntil
+			}
+		}
+		for _, ip := range r.in {
+			if ip.frozenUntil > h {
+				h = ip.frozenUntil
+			}
+		}
+	}
+	for _, ni := range n.nis {
+		if ni.stalledUntil > h {
+			h = ni.stalledUntil
+		}
+	}
+	return h
+}

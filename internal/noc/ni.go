@@ -44,6 +44,10 @@ type NI struct {
 	// mcLinkBusyUntil models the narrow MC->NI link of the unenhanced
 	// baseline (NINarrowLink): accepting a packet occupies it Size cycles.
 	mcLinkBusyUntil int64
+	// stalledUntil is the fault-injection backpressure horizon: while now is
+	// before it the NI supplies no flits, so its queues back up and Offer
+	// rejections propagate the burst to the node (see internal/fault).
+	stalledUntil int64
 }
 
 func newNI(net *Network, node int, router *router) *NI {
@@ -172,11 +176,13 @@ func (ni *NI) pickSplitQueue(pkt *Packet) int {
 // VCs. Staged flits land in the VC buffers at the start of the next cycle
 // (the injection link is a real 1-cycle link).
 func (ni *NI) step(now int64) {
-	switch ni.mode {
-	case NISplit:
-		ni.stepSplit(now)
-	default:
-		ni.stepFIFO(now)
+	if now >= ni.stalledUntil {
+		switch ni.mode {
+		case NISplit:
+			ni.stepSplit(now)
+		default:
+			ni.stepFIFO(now)
+		}
 	}
 	if ni.everHeld {
 		ni.occupancy.Set(float64(ni.totalQueuedFlits), now)

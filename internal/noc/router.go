@@ -61,6 +61,12 @@ type inputPort struct {
 	isInjection bool
 	injIndex    int // which injection port of the node (MultiPort)
 
+	// frozenUntil is the fault-injection freeze horizon: while now is before
+	// it, no VC of this port may bid for the switch. Buffered flits (and
+	// their credits) are untouched, so the stall is absorbed losslessly by
+	// the credit flow control (see internal/fault).
+	frozenUntil int64
+
 	// upstream is the neighbouring router's output port feeding this port
 	// (nil for injection ports, whose credits return to the NI).
 	upstream *outputPort
@@ -95,6 +101,11 @@ type outputPort struct {
 
 	// flits counts traversals onto this output's link (observability).
 	flits uint64
+
+	// stalledUntil is the fault-injection link-stall horizon: while now is
+	// before it, switch allocation never grants this output, so no flit
+	// traverses the link. Credits and buffered flits are untouched.
+	stalledUntil int64
 }
 
 // router is a virtual-channel wormhole router with a single-cycle
@@ -353,7 +364,7 @@ func (r *router) switchAllocate(now int64) {
 	for sp := range r.spVCs {
 		vcsOfSP := r.spVCs[sp]
 		w := r.spArb[sp].pick(func(j int) bool {
-			return r.saEligible(r.allVCs[vcsOfSP[j]])
+			return r.saEligible(r.allVCs[vcsOfSP[j]], now)
 		})
 		if w < 0 {
 			r.spWinner[sp] = -1
@@ -365,6 +376,9 @@ func (r *router) switchAllocate(now int64) {
 	// Stage 2: each output port grants one requesting switch-port;
 	// priority-aware when ARI prioritisation is enabled.
 	for o, op := range r.out {
+		if now < op.stalledUntil {
+			continue // link stalled by fault injection: no grant this cycle
+		}
 		req := func(sp int) bool {
 			w := r.spWinner[sp]
 			return w >= 0 && r.allVCs[w].outPort == o
@@ -388,8 +402,12 @@ func (r *router) switchAllocate(now int64) {
 }
 
 // saEligible reports whether an input VC can bid for the switch this cycle:
-// it must hold a flit and a downstream credit.
-func (r *router) saEligible(vc *inputVC) bool {
+// its port must not be frozen, and it must hold a flit and a downstream
+// credit.
+func (r *router) saEligible(vc *inputVC, now int64) bool {
+	if now < vc.port.frozenUntil {
+		return false // input port frozen by fault injection
+	}
 	if vc.state != vcActive || vc.buf.empty() {
 		return false
 	}
