@@ -1,6 +1,6 @@
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check test bench fuzz soak
+.PHONY: check test bench fuzz soak loadtest
 
 # check is the full gate: build everything, vet, and run all tests with the
 # race detector (covers the equivalence, golden, property, and race suites).
@@ -25,6 +25,15 @@ bench:
 soak:
 	go test -race -count=1 ./internal/fault
 	go test -race -count=1 ./internal/core -run 'Watchdog|Fault|RunChecked|Truncated'
+
+# loadtest runs the serving robustness suites under -race: overload (shed
+# requests answer 429 + Retry-After and the retrying client still completes
+# every job), graceful drain (in-flight jobs finish, goroutine count returns
+# to baseline), the kill/restart soak (byte-identical results, no completed
+# job re-executed), and the ariserve lifecycle smoke tests (DESIGN.md §9).
+loadtest:
+	go test -race -count=1 ./internal/serve/... ./cmd/ariserve
+	go test -race -count=1 ./internal/exp -run 'Journal|Retr|JobKey'
 
 # fuzz replays the committed corpora and then fuzzes each target briefly.
 fuzz:

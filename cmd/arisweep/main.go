@@ -17,9 +17,14 @@
 // with a diagnostic instead of hanging), -timeout bounds each run's wall
 // time, and -journal makes an interrupted sweep resumable without
 // recomputing finished points.
+// With -server, points are not simulated locally: each is submitted to a
+// running ariserve instance through the retrying client, so shed requests
+// (429), drains and even server restarts are ridden out transparently, and
+// the server's journal deduplicates resubmitted points.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +33,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/noc"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
 	"repro/internal/trace"
 )
 
@@ -52,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed    = fs.Uint64("seed", 1, "seed")
 		journal = fs.String("journal", "", "JSONL result journal; an interrupted sweep resumes from it")
 		timeout = fs.Duration("timeout", 0, "per-run wall-time limit (0 = unlimited)")
+		server  = fs.String("server", "", "ariserve base URL; points run remotely via the retrying client")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sch, err := parseScheme(*scheme)
+	sch, err := core.ParseScheme(*scheme)
 	if err != nil {
 		return err
 	}
@@ -131,16 +139,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -param %q", *param)
 	}
 
-	runner := &exp.Runner{Base: base, RunTimeout: *timeout}
-	if *journal != "" {
-		j, err := exp.OpenJournal(*journal)
-		if err != nil {
-			return err
+	// runPoint executes one sweep point: locally on the hardened runner, or
+	// remotely through the retrying client when -server is set.
+	var runPoint func(cfg core.Config) (core.Result, error)
+	if *server != "" {
+		cli := client.New(*server)
+		runPoint = func(cfg core.Config) (core.Result, error) {
+			resp, err := cli.Submit(context.Background(), serve.JobRequest{Bench: *bench, Config: &cfg})
+			if err != nil {
+				return core.Result{}, err
+			}
+			return resp.Result, nil
 		}
-		defer j.Close()
-		runner.Journal = j
-		if j.Loaded() > 0 {
-			fmt.Fprintf(stderr, "arisweep: resuming, %d runs journalled in %s\n", j.Loaded(), j.Path())
+	} else {
+		runner := &exp.Runner{Base: base, RunTimeout: *timeout}
+		if *journal != "" {
+			j, err := exp.OpenJournal(*journal)
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			runner.Journal = j
+			if j.Loaded() > 0 {
+				fmt.Fprintf(stderr, "arisweep: resuming, %d runs journalled in %s\n", j.Loaded(), j.Path())
+			}
+		}
+		runPoint = func(cfg core.Config) (core.Result, error) {
+			return runner.Run(cfg, kernel)
 		}
 	}
 
@@ -148,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "%-10s %10s %10s %14s %12s\n", *param, "IPC", "vs first", "stall/reply", "rep latency")
 	var first float64
 	for _, p := range points {
-		r, err := runner.Run(p.cfg, kernel)
+		r, err := runPoint(p.cfg)
 		if err != nil {
 			return err
 		}
@@ -164,13 +189,4 @@ func run(args []string, stdout, stderr io.Writer) error {
 			r.Rep.AvgLatency(noc.ReadReply, noc.WriteReply))
 	}
 	return nil
-}
-
-func parseScheme(s string) (core.Scheme, error) {
-	for sch := core.Scheme(0); int(sch) < core.NumSchemes; sch++ {
-		if sch.String() == s {
-			return sch, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
 }

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/serve"
 )
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -32,6 +36,31 @@ func TestRunSpeedupSweep(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestRunServerModeMatchesLocal runs the same sweep locally and against a
+// job server: the sweep ships each point's full config, so the tables must
+// be byte-identical regardless of the server's own base configuration.
+func TestRunServerModeMatchesLocal(t *testing.T) {
+	args := []string{"-param", "speedup", "-bench", "bfs", "-cycles", "300", "-warmup", "100"}
+	var local, errb bytes.Buffer
+	if err := run(args, &local, &errb); err != nil {
+		t.Fatalf("local sweep: %v", err)
+	}
+
+	s, err := serve.New(serve.Config{Runner: exp.NewRunner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	var remote, errb2 bytes.Buffer
+	if err := run(append(args, "-server", ts.URL), &remote, &errb2); err != nil {
+		t.Fatalf("server sweep: %v\nstderr: %s", err, errb2.String())
+	}
+	if local.String() != remote.String() {
+		t.Fatalf("server-mode sweep diverged from local:\n%s\nvs\n%s", local.String(), remote.String())
 	}
 }
 

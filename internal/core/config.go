@@ -74,6 +74,16 @@ func (s Scheme) String() string {
 	}
 }
 
+// ParseScheme resolves a paper label (e.g. "Ada-ARI") to its Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	for sch := Scheme(0); sch < numSchemes; sch++ {
+		if sch.String() == s {
+			return sch, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q", s)
+}
+
 // Routing returns the routing algorithm the scheme uses.
 func (s Scheme) Routing() noc.RoutingAlgo {
 	switch s {

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -45,30 +46,42 @@ type Journal struct {
 }
 
 // OpenJournal opens (or creates) the journal at path and loads every intact
-// entry. A truncated or corrupt trailing line — the signature of a killed
-// process — is skipped silently; a corrupt line in the middle of the file
-// only costs that one entry.
+// entry. A torn final line — the signature of a process killed mid-append —
+// is physically truncated away, so the next append starts on a fresh line
+// instead of gluing onto the partial record (which would corrupt the first
+// entry written after a crash). A corrupt but newline-terminated line in the
+// middle of the file only costs that one entry.
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("exp: open journal: %w", err)
 	}
 	j := &Journal{path: path, f: f, entries: make(map[string]core.Result)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
-	for sc.Scan() {
+	// intact is the byte offset just past the last newline-terminated line;
+	// anything after it is a torn tail to be cut off.
+	var intact int64
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			break // len(line) > 0 here means a torn, unterminated tail
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exp: read journal: %w", err)
+		}
+		intact += int64(len(line))
 		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.V != journalVersion || e.Key == "" {
-			continue // truncated tail or foreign line: recompute that run
+		if err := json.Unmarshal(line, &e); err != nil || e.V != journalVersion || e.Key == "" {
+			continue // foreign or corrupt line: recompute that run
 		}
 		j.entries[e.Key] = e.Result
 	}
-	if err := sc.Err(); err != nil {
+	if err := f.Truncate(intact); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("exp: read journal: %w", err)
+		return nil, fmt.Errorf("exp: truncate journal tail: %w", err)
 	}
-	// Append from the end regardless of where the scanner stopped.
-	if _, err := f.Seek(0, 2); err != nil {
+	if _, err := f.Seek(intact, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("exp: seek journal: %w", err)
 	}
@@ -141,6 +154,10 @@ func (j *Journal) record(key string, res core.Result) error {
 	j.entries[key] = res
 	return nil
 }
+
+// JobKey returns the journal key for one (config, benchmark) run — the
+// identity the serving layer uses to deduplicate idempotent job submissions.
+func JobKey(cfg core.Config, bench string) string { return jobKey(cfg, bench) }
 
 // jobKey derives the journal key for one (config, benchmark) run: a SHA-256
 // over the canonical JSON of both, so any config change — scheme, horizons,

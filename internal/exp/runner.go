@@ -45,6 +45,15 @@ type Runner struct {
 	// RunTimeout bounds each simulation's wall time (0 = unlimited). A run
 	// that exceeds it fails the sweep with an error naming the run.
 	RunTimeout time.Duration
+	// MaxRetries re-attempts a run that failed only on RunTimeout — the
+	// signature of transient host contention rather than a broken
+	// configuration — up to this many extra times. Deterministic failures
+	// (validation, panics, watchdog deadlocks) are never retried. 0
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt (default 100ms when MaxRetries > 0).
+	RetryBackoff time.Duration
 	// Checks configures the per-run watchdogs; the zero value enables the
 	// default deadlock/starvation thresholds (see core.CheckOptions).
 	Checks core.CheckOptions
@@ -61,6 +70,10 @@ type runKey struct {
 	cfg   core.Config
 	bench string
 }
+
+// ErrRunTimeout marks a run that exceeded RunTimeout; errors.Is against it
+// selects the only failure class MaxRetries re-attempts.
+var ErrRunTimeout = errors.New("run timed out")
 
 // newSimulator is a seam for tests that need a run to fail or panic on
 // demand; production code never reassigns it.
@@ -171,7 +184,7 @@ func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) ([]core.Result, 
 			go func() {
 				defer wg.Done()
 				for k := range ch {
-					res, err := r.simulate(ctx, need[k])
+					res, err := r.simulateRetry(ctx, need[k])
 					if err != nil {
 						report(err)
 						continue
@@ -239,6 +252,50 @@ func (r *Runner) finish(k runKey, res core.Result) error {
 	return nil
 }
 
+// Lookup returns the result for (cfg, bench) if it is already in the cache
+// or the journal, without simulating. It lets a serving layer answer
+// duplicate submissions idempotently and report journal-backed cache hits.
+func (r *Runner) Lookup(cfg core.Config, bench string) (core.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := runKey{cfg: cfg, bench: bench}
+	if res, ok := r.cache[k]; ok {
+		return res, true
+	}
+	if r.Journal != nil {
+		if res, ok := r.Journal.lookup(jobKey(cfg, bench)); ok {
+			if r.cache == nil {
+				r.cache = make(map[runKey]core.Result)
+			}
+			r.cache[k] = res
+			return res, true
+		}
+	}
+	return core.Result{}, false
+}
+
+// simulateRetry wraps simulate in the opt-in MaxRetries policy: only a
+// RunTimeout failure — transient host contention — is retried, after an
+// exponentially growing backoff; any other failure is deterministic and
+// returns immediately.
+func (r *Runner) simulateRetry(ctx context.Context, j Job) (core.Result, error) {
+	res, err := r.simulate(ctx, j)
+	backoff := r.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 0; attempt < r.MaxRetries && errors.Is(err, ErrRunTimeout) && ctx.Err() == nil; attempt++ {
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return res, err
+		}
+		backoff *= 2
+		res, err = r.simulate(ctx, j)
+	}
+	return res, err
+}
+
 // simulate executes one uncached run under the watchdogs, the per-run
 // timeout and ctx. A panic anywhere inside the simulation is recovered into
 // an error naming the run, so one poisoned configuration cannot kill a
@@ -273,7 +330,7 @@ func (r *Runner) simulate(ctx context.Context, j Job) (res core.Result, err erro
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return core.Result{}, fmt.Errorf("exp: %s: %w", name, ctxErr)
 			}
-			return core.Result{}, fmt.Errorf("exp: %s: timed out after %s", name, r.RunTimeout)
+			return core.Result{}, fmt.Errorf("exp: %s: %w after %s", name, ErrRunTimeout, r.RunTimeout)
 		}
 		return core.Result{}, fmt.Errorf("exp: %s: %w", name, err)
 	}

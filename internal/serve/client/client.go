@@ -1,0 +1,216 @@
+// Package client is the retrying counterpart to internal/serve: an
+// idempotent job client that survives shed requests, timeouts, and whole
+// server restarts.
+//
+// Retries are safe because jobs are deduplicated server-side by exp.JobKey:
+// resubmitting the same request — even against a freshly restarted server —
+// costs at most one simulation, answered from the journal-backed store on
+// every subsequent attempt. The client therefore treats overload (429),
+// unavailability (503), gateway timeouts (502/504) and transport errors as
+// retryable, backing off exponentially with jitter and honouring the
+// server's Retry-After; everything else (a 400 malformed job, a 500
+// deterministic simulation failure) is terminal.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Client submits jobs to an ariserve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+
+	// HTTPClient defaults to a client with no overall timeout (job
+	// deadlines belong in JobRequest.TimeoutMs, which the server enforces).
+	HTTPClient *http.Client
+
+	// MaxRetries bounds re-submissions after the first attempt
+	// (default 8).
+	MaxRetries int
+
+	// BaseBackoff is the first retry delay, doubling per attempt with
+	// ±50% jitter (default 100ms); MaxBackoff caps the growth and any
+	// server Retry-After (default 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// OnRetry, when non-nil, observes each retry decision (tests,
+	// verbose sweeps).
+	OnRetry func(attempt int, err error, wait time.Duration)
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+}
+
+// New returns a Client for the server at baseURL with default retry policy.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// terminalError marks a failure retrying cannot fix.
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// IsTerminal reports whether err is a non-retryable submission failure
+// (malformed job, deterministic simulation error) rather than an exhausted
+// retry budget.
+func IsTerminal(err error) bool {
+	var t *terminalError
+	return errors.As(err, &t)
+}
+
+// Submit runs one job to completion, retrying through shed requests and
+// server restarts until ctx is cancelled, the retry budget is exhausted, or
+// a terminal error comes back.
+func (c *Client) Submit(ctx context.Context, req serve.JobRequest) (serve.JobResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.JobResponse{}, &terminalError{fmt.Errorf("client: encode request: %w", err)}
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 8
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		if IsTerminal(err) || ctx.Err() != nil {
+			return serve.JobResponse{}, err
+		}
+		lastErr = err
+		if attempt >= maxRetries {
+			break
+		}
+		wait := c.backoff(attempt, err)
+		if c.OnRetry != nil {
+			c.OnRetry(attempt, err, wait)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return serve.JobResponse{}, ctx.Err()
+		}
+	}
+	return serve.JobResponse{}, fmt.Errorf("client: giving up after %d attempts: %w", maxRetries+1, lastErr)
+}
+
+// retryAfterError carries the server's Retry-After hint to the backoff.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// attempt performs one POST /v1/jobs round trip.
+func (c *Client) attempt(ctx context.Context, body []byte) (serve.JobResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return serve.JobResponse{}, &terminalError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		// Transport failure: connection refused/reset — the signature of a
+		// server restarting underneath us. Retryable.
+		return serve.JobResponse{}, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return serve.JobResponse{}, fmt.Errorf("client: read response: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out serve.JobResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return serve.JobResponse{}, fmt.Errorf("client: decode response: %w", err)
+		}
+		return out, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		err := fmt.Errorf("client: server %s: %s", resp.Status, errBody(raw))
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+			return serve.JobResponse{}, &retryAfterError{err: err, after: time.Duration(secs) * time.Second}
+		}
+		return serve.JobResponse{}, err
+	default:
+		return serve.JobResponse{}, &terminalError{fmt.Errorf("client: server %s: %s", resp.Status, errBody(raw))}
+	}
+}
+
+// backoff computes the next wait: exponential from BaseBackoff with ±50%
+// jitter, capped by MaxBackoff, never shorter than the server's Retry-After
+// hint (itself capped by MaxBackoff).
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// Jitter desynchronises a fleet of shed clients so they do not retry in
+	// lockstep against the same full queue.
+	d = d/2 + time.Duration(c.intn(int64(d/2)+1))
+	var ra *retryAfterError
+	if errors.As(err, &ra) && ra.after > d {
+		d = ra.after
+		if d > max {
+			d = max
+		}
+	}
+	return d
+}
+
+func (c *Client) intn(n int64) int64 {
+	c.rngOnce.Do(func() {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	})
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Int63n(n)
+}
+
+// errBody extracts the server's error message from a JSON error body,
+// falling back to the raw bytes.
+func errBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(raw))
+}

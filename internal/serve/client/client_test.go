@@ -1,0 +1,151 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// scripted returns a test server that answers each attempt with the next
+// status in script (the last repeats), plus the attempt counter.
+func scripted(t *testing.T, script []int) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n >= len(script) {
+			n = len(script) - 1
+		}
+		code := script[n]
+		if code == http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(serve.JobResponse{Key: "k", Cached: n > 0})
+			return
+		}
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", "0")
+		}
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]string{"error": http.StatusText(code)})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func fastClient(url string) *Client {
+	return &Client{BaseURL: url, MaxRetries: 5, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+func TestSubmitRetriesShedThenSucceeds(t *testing.T) {
+	ts, calls := scripted(t, []int{429, 503, 200})
+	c := fastClient(ts.URL)
+	var retries int
+	c.OnRetry = func(int, error, time.Duration) { retries++ }
+	resp, err := c.Submit(context.Background(), serve.JobRequest{Bench: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Key != "k" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if retries != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2", retries)
+	}
+}
+
+func TestSubmitTerminalOnBadRequest(t *testing.T) {
+	ts, calls := scripted(t, []int{400})
+	_, err := fastClient(ts.URL).Submit(context.Background(), serve.JobRequest{Bench: "nope"})
+	if err == nil {
+		t.Fatal("400 did not error")
+	}
+	if !IsTerminal(err) {
+		t.Fatalf("400 not terminal: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("terminal error retried: %d attempts", calls.Load())
+	}
+}
+
+func TestSubmitTerminalOnServerError(t *testing.T) {
+	ts, calls := scripted(t, []int{500})
+	_, err := fastClient(ts.URL).Submit(context.Background(), serve.JobRequest{Bench: "bfs"})
+	if err == nil || !IsTerminal(err) {
+		t.Fatalf("500 not terminal: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("terminal error retried: %d attempts", calls.Load())
+	}
+}
+
+func TestSubmitExhaustsRetryBudget(t *testing.T) {
+	ts, calls := scripted(t, []int{429})
+	c := fastClient(ts.URL)
+	c.MaxRetries = 3
+	_, err := c.Submit(context.Background(), serve.JobRequest{Bench: "bfs"})
+	if err == nil {
+		t.Fatal("endless 429 eventually succeeded?")
+	}
+	if IsTerminal(err) {
+		t.Fatalf("exhausted budget reported terminal: %v", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (1 + 3 retries)", got)
+	}
+}
+
+func TestSubmitRetriesTransportErrors(t *testing.T) {
+	// A server that was shut down: connection refused on every attempt.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+	c := fastClient(url)
+	c.MaxRetries = 2
+	_, err := c.Submit(context.Background(), serve.JobRequest{Bench: "bfs"})
+	if err == nil {
+		t.Fatal("dead server succeeded?")
+	}
+	if IsTerminal(err) {
+		t.Fatalf("transport failure must be retryable, got terminal: %v", err)
+	}
+}
+
+func TestSubmitHonoursContextDuringBackoff(t *testing.T) {
+	ts, _ := scripted(t, []int{429})
+	c := fastClient(ts.URL)
+	c.BaseBackoff = time.Hour // would sleep forever without ctx
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, serve.JobRequest{Bench: "bfs"})
+	if err == nil {
+		t.Fatal("cancelled submit succeeded")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("ctx cancellation ignored for %s", took)
+	}
+}
+
+func TestBackoffHonoursRetryAfterWithinCap(t *testing.T) {
+	c := &Client{BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	err := &retryAfterError{err: context.DeadlineExceeded, after: 10 * time.Second}
+	if got := c.backoff(0, err); got != 50*time.Millisecond {
+		t.Fatalf("backoff = %s, want Retry-After capped at MaxBackoff (50ms)", got)
+	}
+	// Without a hint the backoff stays within [base/2, base].
+	for attempt := 0; attempt < 10; attempt++ {
+		got := c.backoff(attempt, context.DeadlineExceeded)
+		if got <= 0 || got > 50*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %s outside (0, 50ms]", attempt, got)
+		}
+	}
+}

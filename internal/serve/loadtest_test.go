@@ -1,0 +1,272 @@
+// Overload and drain suites (make loadtest): shed requests answer 429 with
+// Retry-After, the retrying client completes every job despite shedding,
+// graceful drain finishes in-flight work, the drain deadline aborts
+// stragglers, and the goroutine count returns to baseline afterwards.
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/trace"
+)
+
+// testRunner returns a short-horizon Runner for serving tests.
+func testRunner(t *testing.T) *exp.Runner {
+	t.Helper()
+	r := exp.NewRunner()
+	r.Base.WarmupCycles = 200
+	r.Base.MeasureCycles = 600
+	return r
+}
+
+// startServer builds a Server and an httptest listener around it.
+func startServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// pollUntil retries cond for up to d.
+func pollUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// goroutineBaseline asserts the goroutine count settles back to (near) base.
+func goroutineBaseline(t *testing.T, base int) {
+	t.Helper()
+	http.DefaultClient.CloseIdleConnections()
+	pollUntil(t, 5*time.Second, "goroutine count to return to baseline", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= base+3
+	})
+}
+
+func TestOverloadShedsWith429AndRetryAfter(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := testRunner(t)
+	r.Base.MeasureCycles = 1 << 40 // every admitted run blocks until aborted
+	s, ts := startServer(t, serve.Config{Runner: r, MaxInFlight: 1, QueueDepth: -1})
+
+	// Occupy the single slot with a job that cannot finish.
+	blockedDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"bench":"bfs"}`))
+		if err != nil {
+			blockedDone <- -1
+			return
+		}
+		resp.Body.Close()
+		blockedDone <- resp.StatusCode
+	}()
+	pollUntil(t, 5*time.Second, "the blocking job to be admitted", func() bool {
+		return s.Stats().Admitted == 1
+	})
+
+	// The queue is full: the next distinct submission must be shed.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"b+tree"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission = %v, want 429", resp.Status)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", ra)
+	}
+	if st := s.Stats(); st.Shed < 1 {
+		t.Fatalf("stats.Shed = %d, want >= 1", st.Shed)
+	}
+
+	// Drain with a deadline the blocked job cannot meet: it is aborted, the
+	// request answers retryably, and nothing leaks.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded (straggler aborted)", err)
+	}
+	if code := <-blockedDone; code != http.StatusServiceUnavailable {
+		t.Fatalf("aborted in-flight job answered %d, want 503", code)
+	}
+	if st := s.Stats(); st.Admitted != 0 {
+		t.Fatalf("admitted = %d after abort, want 0", st.Admitted)
+	}
+	ts.Close()
+	goroutineBaseline(t, base)
+}
+
+func TestClientBackoffCompletesAllJobsUnderOverload(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := testRunner(t)
+	s, ts := startServer(t, serve.Config{Runner: r, MaxInFlight: 1, QueueDepth: -1})
+
+	// Six distinct jobs race for one execution slot and zero queue slots:
+	// most first attempts are shed; the client's backoff must land them all.
+	cli := &client.Client{
+		BaseURL:     ts.URL,
+		MaxRetries:  200,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+	}
+	benches := []string{"bfs", "b+tree", "lavaMD", "srad", "nn", "lud"}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(benches))
+	resps := make([]serve.JobResponse, len(benches))
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			resps[i], errs[i] = cli.Submit(ctx, serve.JobRequest{Bench: b})
+		}(i, b)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %s failed through backoff: %v", benches[i], err)
+		}
+		if resps[i].Result.Benchmark != benches[i] {
+			t.Fatalf("job %s got result for %s", benches[i], resps[i].Result.Benchmark)
+		}
+	}
+	if st := s.Stats(); st.Completed != int64(len(benches)) {
+		t.Fatalf("completed = %d, want %d", st.Completed, len(benches))
+	}
+
+	// Clean drain: nothing in flight, Shutdown returns nil, no leaks.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := s.Shutdown(ctx2); err != nil {
+		t.Fatalf("clean Shutdown: %v", err)
+	}
+	ts.Close()
+	goroutineBaseline(t, base)
+}
+
+func TestGracefulDrainFinishesInFlightJobs(t *testing.T) {
+	r := testRunner(t)
+	s, ts := startServer(t, serve.Config{Runner: r, MaxInFlight: 1})
+
+	done := make(chan serve.JobResponse, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"bench":"bfs"}`))
+		if err != nil {
+			close(done)
+			return
+		}
+		defer resp.Body.Close()
+		var out serve.JobResponse
+		if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&out) == nil {
+			done <- out
+		} else {
+			close(done)
+		}
+	}()
+	pollUntil(t, 5*time.Second, "the job to be admitted", func() bool {
+		st := s.Stats()
+		return st.Admitted >= 1 || st.Completed >= 1
+	})
+
+	// Drain must let the admitted job finish, not cut it off.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown during in-flight job: %v", err)
+	}
+	out, ok := <-done
+	if !ok {
+		t.Fatal("in-flight job did not complete across a graceful drain")
+	}
+	if out.Result.Benchmark != "bfs" {
+		t.Fatalf("drained job result = %+v", out.Result)
+	}
+}
+
+// TestRetryAfterTracksServiceTime pins the Retry-After derivation: once the
+// server has observed service times, the hint reflects them instead of the
+// 1-second floor alone.
+func TestRetryAfterTracksServiceTime(t *testing.T) {
+	r := testRunner(t)
+	s, ts := startServer(t, serve.Config{Runner: r, MaxInFlight: 1})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"lavaMD"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := s.Stats()
+	if st.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", st.Completed)
+	}
+	if st.ServiceTimeMs <= 0 {
+		t.Fatalf("service-time EWMA not observed: %+v", st)
+	}
+	// Readiness rejection during drain carries the derived hint.
+	s.BeginDrain()
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	secs, err := strconv.Atoi(rz.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("readyz Retry-After = %q, want >= 1", rz.Header.Get("Retry-After"))
+	}
+	want := int(st.ServiceTimeMs/1000) + 2
+	if secs > want {
+		t.Fatalf("Retry-After = %ds, implausible for EWMA %.1fms", secs, st.ServiceTimeMs)
+	}
+}
+
+// fullSuiteJobs builds one job per suite kernel at tiny horizons.
+func fullSuiteJobs(base core.Config) []exp.Job {
+	var jobs []exp.Job
+	for _, k := range trace.Suite() {
+		jobs = append(jobs, exp.Job{Cfg: base, Kernel: k})
+	}
+	return jobs
+}
+
+// jobJSON marshals a result for byte-identity comparison.
+func jobJSON(t *testing.T, res core.Result) string {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

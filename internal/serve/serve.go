@@ -1,0 +1,359 @@
+// Package serve turns the hardened experiment harness into a long-lived
+// simulation service: an HTTP job server that is robust by construction.
+//
+//   - Admission control: a bounded queue with load shedding. An overloaded
+//     server answers 429 with a Retry-After derived from the observed
+//     service time instead of queueing unboundedly — when buffers run out,
+//     reject-and-retry beats unbounded queueing, exactly the deflection
+//     argument the paper makes for bufferless reply fabrics.
+//   - Deadlines end-to-end: a client-supplied deadline propagates via the
+//     request context into the run's watchdog interrupt; an expired job is
+//     cancelled at its next poll, never orphaned.
+//   - Crash-only job store: job state rides the fsync'd JSONL journal, so
+//     a SIGKILL'd server restarts with every completed job intact and
+//     re-runs only what was in flight — byte-identically, because the
+//     simulator is deterministic.
+//   - Graceful drain: BeginDrain/Shutdown stop admission (readiness flips),
+//     finish in-flight jobs under a deadline, then abort stragglers.
+//
+// Jobs are idempotent: they are keyed by exp.JobKey(config, benchmark), so
+// a client may retry a submission any number of times — against the same
+// or a restarted server — and pay for at most one simulation.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Runner executes (and caches/journals) the simulations. Required.
+	// Attach a Journal to it to make the server crash-safe across restarts.
+	Runner *exp.Runner
+
+	// MaxInFlight bounds concurrently executing simulations
+	// (default GOMAXPROCS).
+	MaxInFlight int
+
+	// QueueDepth bounds jobs admitted but waiting for an execution slot.
+	// 0 selects the default (2×MaxInFlight); negative means no waiting
+	// slots at all — every job beyond MaxInFlight is shed.
+	QueueDepth int
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// Admitted is the number of jobs currently holding a queue slot
+	// (executing + waiting).
+	Admitted int `json:"admitted"`
+	// Completed counts simulations finished by this process (cache and
+	// journal hits excluded).
+	Completed int64 `json:"completed"`
+	// CacheHits counts submissions answered from the cache or journal.
+	CacheHits int64 `json:"cache_hits"`
+	// Shed counts submissions rejected with 429 because the queue was full.
+	Shed int64 `json:"shed"`
+	// Draining reports that admission is closed.
+	Draining bool `json:"draining"`
+	// ServiceTimeMs is the exponentially weighted moving average of
+	// observed simulation wall time, the basis of Retry-After.
+	ServiceTimeMs float64 `json:"service_time_ms"`
+}
+
+// Server is the http.Handler implementing the job API:
+//
+//	POST /v1/jobs   submit a JobRequest, receive a JobResponse
+//	GET  /v1/stats  server counters (Stats)
+//	GET  /healthz   liveness: 200 while the process runs
+//	GET  /readyz    readiness: 200 while admitting, 503 once draining
+type Server struct {
+	runner      *exp.Runner
+	maxInFlight int
+	queue       chan struct{} // admission slots (executing + waiting)
+	work        chan struct{} // execution slots
+	mux         *http.ServeMux
+
+	// rootCtx is cancelled by Abort: every in-flight run aborts at its
+	// next watchdog poll. This is the drain-deadline / simulated-crash path.
+	rootCtx context.Context
+	abort   context.CancelFunc
+
+	mu        sync.Mutex
+	draining  bool
+	ewma      time.Duration
+	completed int64
+	cacheHits int64
+	shed      int64
+	inflight  sync.WaitGroup
+}
+
+// New builds a Server over cfg.Runner.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("serve: Config.Runner is required")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = runtime.GOMAXPROCS(0)
+	}
+	queueDepth := cfg.QueueDepth
+	switch {
+	case queueDepth == 0:
+		queueDepth = 2 * maxInFlight
+	case queueDepth < 0:
+		queueDepth = 0
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		runner:      cfg.Runner,
+		maxInFlight: maxInFlight,
+		queue:       make(chan struct{}, maxInFlight+queueDepth),
+		work:        make(chan struct{}, maxInFlight),
+		rootCtx:     ctx,
+		abort:       cancel,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/readyz", s.handleReady)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// BeginDrain closes admission: readiness flips to 503 and new submissions
+// are rejected; jobs already admitted keep running.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether admission is closed.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Abort cancels every in-flight job immediately (each aborts at its next
+// watchdog poll). Completed jobs are already synced to the journal, so an
+// Abort loses only in-flight work — the crash-only exit path.
+func (s *Server) Abort() { s.abort() }
+
+// Wait blocks until every admitted job has finished, or ctx expires.
+func (s *Server) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown drains gracefully: admission closes, in-flight jobs get until
+// ctx's deadline to finish, then are aborted. It returns ctx's error when
+// the deadline forced an abort, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	if err := s.Wait(ctx); err != nil {
+		s.Abort()
+		// Bounded: every run aborts at its next watchdog poll.
+		s.inflight.Wait()
+		return err
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Admitted:      len(s.queue),
+		Completed:     s.completed,
+		CacheHits:     s.cacheHits,
+		Shed:          s.shed,
+		Draining:      s.draining,
+		ServiceTimeMs: float64(s.ewma) / float64(time.Millisecond),
+	}
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var q JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&q); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	job, err := buildJob(s.runner.Base, &q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := exp.JobKey(job.Cfg, job.Kernel.Name)
+
+	// Idempotent fast path: a duplicate of a finished job — a client retry,
+	// or any job the journal already holds after a restart — is answered
+	// from the store without consuming a queue slot, even under overload
+	// or drain.
+	if res, ok := s.runner.Lookup(job.Cfg, job.Kernel.Name); ok {
+		s.mu.Lock()
+		s.cacheHits++
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Result: res})
+		return
+	}
+
+	// Admission: shed instead of queueing unboundedly.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reject(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	select {
+	case s.queue <- struct{}{}:
+		s.inflight.Add(1)
+		s.mu.Unlock()
+	default:
+		s.shed++
+		s.mu.Unlock()
+		s.reject(w, http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+	defer func() {
+		<-s.queue
+		s.inflight.Done()
+	}()
+
+	// Deadline propagation: the client deadline (and disconnect) cancel via
+	// the request context; a drain-deadline Abort cancels via rootCtx.
+	ctx := r.Context()
+	if d := q.Timeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopAfter := context.AfterFunc(s.rootCtx, cancel)
+	defer stopAfter()
+
+	// Wait (bounded by the queue slot) for an execution slot.
+	select {
+	case s.work <- struct{}{}:
+	case <-ctx.Done():
+		s.writeRunError(w, ctx.Err())
+		return
+	}
+	defer func() { <-s.work }()
+
+	start := time.Now()
+	results, err := s.runner.RunAllContext(ctx, []exp.Job{job})
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	s.observe(time.Since(start))
+	writeJSON(w, http.StatusOK, JobResponse{Key: key, Result: results[0]})
+}
+
+// writeRunError maps a failed run onto a status code: deadline expiry is
+// 504, cancellation (client gone, drain abort) is 503 — both retryable by
+// an idempotent client — anything else is a terminal 500.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "job deadline exceeded: " + err.Error()})
+	case errors.Is(err, context.Canceled):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "job cancelled: " + err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// reject sheds one submission with a Retry-After derived from the observed
+// service time and current backlog.
+func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// retryAfterSecs estimates when a shed client should come back: roughly one
+// observed service time per backlogged job ahead of it, spread over the
+// execution slots, floored at 1s.
+func (s *Server) retryAfterSecs() int {
+	s.mu.Lock()
+	ewma := s.ewma
+	s.mu.Unlock()
+	if ewma <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(ewma.Seconds() * float64(len(s.queue)+1) / float64(s.maxInFlight)))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// observe folds one completed simulation's wall time into the service-time
+// EWMA (α = 0.2) and bumps the completion counter.
+func (s *Server) observe(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed++
+	if s.ewma == 0 {
+		s.ewma = d
+		return
+	}
+	s.ewma = time.Duration(0.8*float64(s.ewma) + 0.2*float64(d))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

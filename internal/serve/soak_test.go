@@ -1,0 +1,174 @@
+// Kill/restart soak: concurrent retrying clients submit the full 30-kernel
+// suite while the server is hard-killed mid-flight and restarted on the same
+// address over the same journal. The restarted server must reproduce results
+// byte-identical to an uninterrupted run, re-executing only jobs that were
+// in flight at the kill — never a completed one.
+package serve_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/trace"
+)
+
+// soakServer is one server incarnation: runner + journal + HTTP listener.
+type soakServer struct {
+	srv     *serve.Server
+	httpSrv *http.Server
+	journal *exp.Journal
+	runner  *exp.Runner
+	addr    string
+}
+
+// startSoakServer boots a server over the journal at path, on addr
+// ("127.0.0.1:0" for the first incarnation, the inherited address after a
+// restart).
+func startSoakServer(t *testing.T, base core.Config, journalPath, addr string) *soakServer {
+	t.Helper()
+	j, err := exp.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &exp.Runner{Base: base, Journal: j}
+	s, err := serve.New(serve.Config{Runner: r, MaxInFlight: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s}
+	go hs.Serve(ln)
+	return &soakServer{srv: s, httpSrv: hs, journal: j, runner: r, addr: ln.Addr().String()}
+}
+
+// kill simulates SIGKILL: abort every in-flight run and tear the listener
+// down with no drain. Only the fsync'd journal survives.
+func (ss *soakServer) kill(t *testing.T) {
+	t.Helper()
+	ss.srv.Abort()
+	ss.httpSrv.Close()
+	// Wait for handler goroutines to observe the abort before releasing the
+	// journal file to the next incarnation (a real SIGKILL drops the file
+	// handle atomically; in-process we must sequence it).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ss.srv.Wait(ctx); err != nil {
+		t.Fatalf("aborted jobs did not unwind: %v", err)
+	}
+	if err := ss.journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillRestartSoakByteIdentical(t *testing.T) {
+	base := core.DefaultConfig()
+	base.Scheme = core.AdaARI
+	base.WarmupCycles = 100
+	base.MeasureCycles = 300
+
+	suite := trace.Suite()
+	if len(suite) != 30 {
+		t.Fatalf("suite has %d kernels, want 30", len(suite))
+	}
+
+	// Reference: the uninterrupted run, straight on a Runner.
+	ref := &exp.Runner{Base: base}
+	want, err := ref.RunAll(fullSuiteJobs(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journalPath := filepath.Join(t.TempDir(), "serve.jsonl")
+	ss := startSoakServer(t, base, journalPath, "127.0.0.1:0")
+	baseURL := "http://" + ss.addr
+
+	// One concurrent retrying client per kernel; retries ride through the
+	// shed responses, the kill, and the restart window.
+	cli := &client.Client{
+		BaseURL:     baseURL,
+		MaxRetries:  500,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(suite))
+	resps := make([]serve.JobResponse, len(suite))
+	for i, k := range suite {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			resps[i], errs[i] = cli.Submit(ctx, serve.JobRequest{Bench: name})
+		}(i, k.Name)
+	}
+
+	// Hard-kill once roughly a third of the suite is journalled.
+	deadline := time.Now().Add(time.Minute)
+	for ss.journal.Len() < 10 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ss.journal.Len() < 10 {
+		t.Fatal("server never reached 10 journalled runs")
+	}
+	ss.kill(t)
+	ranBeforeKill := ss.runner.Runs()
+
+	// Restart on the same address over the same journal, as a fresh process
+	// image (new Runner, empty cache).
+	ss2 := startSoakServer(t, base, journalPath, ss.addr)
+	completedAtKill := ss2.journal.Loaded()
+	if completedAtKill < 10 {
+		t.Fatalf("journal lost completed jobs across the kill: loaded %d, want >= 10", completedAtKill)
+	}
+	if completedAtKill > ranBeforeKill {
+		t.Fatalf("journal holds %d entries but only %d runs finished", completedAtKill, ranBeforeKill)
+	}
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %s failed across the restart: %v", suite[i].Name, err)
+		}
+	}
+
+	// Byte-identical to the uninterrupted run.
+	for i := range suite {
+		if got, ref := jobJSON(t, resps[i].Result), jobJSON(t, want[i]); got != ref {
+			t.Fatalf("job %s diverged after restart:\n got %s\nwant %s", suite[i].Name, got, ref)
+		}
+	}
+	// Zero completed jobs re-executed: the restarted server simulated
+	// exactly the remainder.
+	if got, wantRuns := ss2.runner.Runs(), len(suite)-completedAtKill; got != wantRuns {
+		t.Fatalf("restarted server ran %d simulations, want %d (suite %d - %d journalled)",
+			got, wantRuns, len(suite), completedAtKill)
+	}
+	// And the journal now holds the whole suite.
+	if ss2.journal.Len() != len(suite) {
+		t.Fatalf("journal holds %d entries after the soak, want %d", ss2.journal.Len(), len(suite))
+	}
+
+	// Clean exit for the second incarnation.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := ss2.srv.Shutdown(sctx); err != nil {
+		t.Fatalf("final drain: %v", err)
+	}
+	ss2.httpSrv.Close()
+	if err := ss2.journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
