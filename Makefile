@@ -1,6 +1,6 @@
 DATE := $(shell date +%Y%m%d)
 
-.PHONY: check test bench fuzz soak loadtest
+.PHONY: check test bench fuzz soak loadtest obs profile
 
 # check is the full gate: build everything, vet, and run all tests with the
 # race detector (covers the equivalence, golden, property, and race suites).
@@ -34,6 +34,25 @@ soak:
 loadtest:
 	go test -race -count=1 ./internal/serve/... ./cmd/ariserve
 	go test -race -count=1 ./internal/exp -run 'Journal|Retr|JobKey'
+
+# obs runs the observability suites under vet + -race: registry/collector
+# semantics (incl. the allocation-free sampling guard), the Chrome-trace
+# schema fixture, the instrumented-vs-plain byte-identity lock, the
+# per-class NetStats counters, the decomposition golden, and the /metrics,
+# /debug/nocstate and pprof endpoint tests (DESIGN.md §10).
+obs:
+	go vet ./internal/obs ./internal/serve/... ./internal/noc ./internal/exp
+	go test -race -count=1 ./internal/obs ./internal/stats
+	go test -race -count=1 ./internal/noc -run 'NetStats|VAGrant|Tracer'
+	go test -race -count=1 ./internal/exp -run 'Decompose'
+	go test -race -count=1 ./internal/serve -run 'Metrics|NoCState|Pprof|Observability'
+
+# profile captures CPU and heap profiles of a representative simulation via
+# arisim's -cpuprofile/-memprofile flags; inspect with `go tool pprof`.
+profile:
+	go run ./cmd/arisim -bench bfs -scheme Ada-ARI -cycles 20000 -warmup 4000 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "profiles written: cpu.pprof mem.pprof (go tool pprof cpu.pprof)"
 
 # fuzz replays the committed corpora and then fuzzes each target briefly.
 fuzz:

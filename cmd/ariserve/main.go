@@ -12,10 +12,14 @@
 //
 // API:
 //
-//	POST /v1/jobs   {"bench":"bfs","scheme":"Ada-ARI","timeout_ms":60000}
-//	GET  /v1/stats  admission/shed/service-time counters
-//	GET  /healthz   liveness
-//	GET  /readyz    readiness (503 once draining)
+//	POST /v1/jobs         {"bench":"bfs","scheme":"Ada-ARI","timeout_ms":60000}
+//	GET  /v1/stats        admission/shed/service-time counters
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (503 once draining)
+//	GET  /metrics         Prometheus text: server counters, per-job progress
+//	                      (cycles, cycles/sec, ETA, watchdog state), runtime
+//	GET  /debug/nocstate  JSON NoC state snapshot of every in-flight job
+//	GET  /debug/pprof/    CPU/heap/goroutine profiling (net/http/pprof)
 //
 // An overloaded server sheds submissions with 429 + Retry-After instead of
 // queueing unboundedly; SIGTERM/SIGINT stops admission, finishes in-flight

@@ -7,6 +7,12 @@
 //	arisim -bench bfs -scheme Ada-ARI -cycles 20000 [-warmup 4000]
 //	       [-mesh 6x6] [-mc 8] [-vcs 4] [-reqlink 128] [-replink 128]
 //	       [-speedup 4] [-priolevels 2] [-seed 1] [-list]
+//
+// Observability (DESIGN.md §10):
+//
+//	arisim -bench bfs -obs-interval 100 -obs-out metrics.csv   # per-interval time series
+//	arisim -bench bfs -trace-sample 16 -trace-out trace.json   # Chrome trace + latency decomposition
+//	arisim -bench bfs -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -14,10 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -42,6 +51,13 @@ func main() {
 		dumpConf  = flag.Bool("dumpconfig", false, "print the effective configuration as JSON and exit")
 		work      = flag.Uint64("work", 0, "fixed-work mode: measure until this many warp-instructions retire (0 = fixed horizon)")
 		heatmap   = flag.Bool("heatmap", false, "print per-node reply-network link/injection utilisation grids")
+
+		obsInterval = flag.Int64("obs-interval", 0, "metrics sampling interval in NoC cycles (0 = observability off)")
+		obsOut      = flag.String("obs-out", "", "write the sampled metric time series as CSV to this file (requires -obs-interval)")
+		traceSample = flag.Uint64("trace-sample", 0, "record every Nth packet's lifecycle on both fabrics (0 = off)")
+		traceOut    = flag.String("trace-out", "", "write sampled packet lifetimes as Chrome trace_event JSON to this file (requires -trace-sample)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -112,6 +128,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	var reg *obs.Registry
+	if *obsInterval > 0 {
+		reg = obs.NewRegistry(*obsInterval)
+		obs.AttachSimulator(reg, sim)
+		reg.Reserve(int((cfg.WarmupCycles+cfg.MeasureCycles)/ *obsInterval) + 2)
+	}
+	var reqColl, repColl *obs.Collector
+	if *traceSample > 0 {
+		reqColl, repColl = obs.AttachTracers(sim, *traceSample)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var r core.Result
 	if *work > 0 {
 		r = sim.RunWork(*work, cfg.MeasureCycles*100)
@@ -127,6 +167,94 @@ func main() {
 	if *heatmap {
 		printHeatmap(sim, cfg)
 	}
+	if reg != nil {
+		if err := writeMetricsCSV(reg, *obsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceSample > 0 {
+		printDecomposition(reqColl, repColl)
+		if *traceOut != "" {
+			if err := writeChromeTrace(*traceOut, reqColl, repColl); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeMetricsCSV dumps the sampled time series (to stdout when no path is
+// given).
+func writeMetricsCSV(reg *obs.Registry, path string) error {
+	if path == "" {
+		fmt.Printf("\nmetrics (%d samples every %d cycles):\n", reg.Samples(), reg.Interval())
+		return reg.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d metric samples to %s\n", reg.Samples(), path)
+	return nil
+}
+
+// printDecomposition prints the traced latency attribution per fabric — the
+// paper's Fig. 2/3 split, from lifecycle samples instead of aggregates.
+func printDecomposition(reqColl, repColl *obs.Collector) {
+	fmt.Println("\ntraced latency decomposition (cycles, mean over sampled packets):")
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s %11s\n", "fabric", "packets", "queue", "network", "eject", "total", "queue share")
+	for _, c := range []*obs.Collector{reqColl, repColl} {
+		if c == nil {
+			continue
+		}
+		d := c.Decompose()
+		fmt.Printf("%-8s %8d %8.1f %8.1f %8.1f %8.1f %10.1f%%\n",
+			c.Label, d.Packets, d.Queue.Value(), d.Net.Value(), d.Eject.Value(),
+			d.Total.Value(), 100*d.QueueFraction())
+	}
+}
+
+// writeChromeTrace exports the sampled lifecycles for chrome://tracing.
+func writeChromeTrace(path string, colls ...*obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var active []*obs.Collector
+	for _, c := range colls {
+		if c != nil {
+			active = append(active, c)
+		}
+	}
+	if err := obs.WriteChromeTrace(f, active...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", path)
+	return nil
 }
 
 // printHeatmap renders the reply network's per-node load: the summed mesh

@@ -29,10 +29,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
 	"repro/internal/trace"
@@ -60,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		journal = fs.String("journal", "", "JSONL result journal; an interrupted sweep resumes from it")
 		timeout = fs.Duration("timeout", 0, "per-run wall-time limit (0 = unlimited)")
 		server  = fs.String("server", "", "ariserve base URL; points run remotely via the retrying client")
+
+		obsInterval = fs.Int64("obs-interval", 0, "metrics sampling interval in NoC cycles for locally-run points (0 = off)")
+		obsDir      = fs.String("obs-dir", ".", "directory for per-point metric CSVs (metrics_<label>.csv)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,8 +146,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	// runPoint executes one sweep point: locally on the hardened runner, or
 	// remotely through the retrying client when -server is set.
+	// Per-point observability (local only): each point gets a fresh metrics
+	// registry attached through Runner.Instrument and dumped to its own CSV.
+	// Points journalled from a previous sweep never build a simulator, so
+	// they produce no CSV — by design, resumption stays cheap.
 	var runPoint func(cfg core.Config) (core.Result, error)
+	var obsReg *obs.Registry
 	if *server != "" {
+		if *obsInterval > 0 {
+			fmt.Fprintln(stderr, "arisweep: -obs-interval is ignored with -server (metrics are per-process; scrape the server's /metrics instead)")
+		}
 		cli := client.New(*server)
 		runPoint = func(cfg core.Config) (core.Result, error) {
 			resp, err := cli.Submit(context.Background(), serve.JobRequest{Bench: *bench, Config: &cfg})
@@ -164,6 +177,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 				fmt.Fprintf(stderr, "arisweep: resuming, %d runs journalled in %s\n", j.Loaded(), j.Path())
 			}
 		}
+		if *obsInterval > 0 {
+			runner.Instrument = func(sim *core.Simulator) {
+				obsReg = obs.NewRegistry(*obsInterval)
+				obs.AttachSimulator(obsReg, sim)
+				obsReg.Reserve(int((base.WarmupCycles+base.MeasureCycles)/ *obsInterval) + 2)
+			}
+		}
 		runPoint = func(cfg core.Config) (core.Result, error) {
 			return runner.Run(cfg, kernel)
 		}
@@ -173,9 +193,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "%-10s %10s %10s %14s %12s\n", *param, "IPC", "vs first", "stall/reply", "rep latency")
 	var first float64
 	for _, p := range points {
+		obsReg = nil
 		r, err := runPoint(p.cfg)
 		if err != nil {
 			return err
+		}
+		if obsReg != nil {
+			path := fmt.Sprintf("%s/metrics_%s.csv", *obsDir, sanitizeLabel(p.label))
+			if err := writePointCSV(obsReg, path); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "arisweep: wrote %d metric samples to %s\n", obsReg.Samples(), path)
 		}
 		if first == 0 {
 			first = r.IPC
@@ -189,4 +217,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 			r.Rep.AvgLatency(noc.ReadReply, noc.WriteReply))
 	}
 	return nil
+}
+
+// sanitizeLabel makes a sweep-point label safe as a file-name component.
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// writePointCSV dumps one point's sampled metrics.
+func writePointCSV(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/fault"
@@ -51,6 +52,12 @@ type Simulator struct {
 
 	// coreCyclesMeasured counts core-clock ticks during measurement.
 	coreCyclesMeasured uint64
+
+	// sampler, when installed, runs every sampleEvery NoC cycles at the end
+	// of Step (observability hook: a metrics registry's Sample). The
+	// disabled-path cost is one comparison per Step.
+	sampler     func(cycle int64)
+	sampleEvery int64
 }
 
 // NewSimulator assembles a simulator for kernel k under cfg, generating
@@ -346,6 +353,21 @@ func (s *Simulator) Step() {
 	}
 	s.repNet.Step()
 	s.cycle++
+	if s.sampleEvery > 0 && s.cycle%s.sampleEvery == 0 {
+		s.sampler(s.cycle)
+	}
+}
+
+// SetSampler installs fn to run every `every` NoC cycles at the end of Step
+// (every <= 0 or a nil fn disables sampling). The hook observes only: it
+// must not mutate simulator state, so an instrumented run stays
+// bit-identical to an uninstrumented one.
+func (s *Simulator) SetSampler(every int64, fn func(cycle int64)) {
+	if fn == nil || every <= 0 {
+		s.sampler, s.sampleEvery = nil, 0
+		return
+	}
+	s.sampler, s.sampleEvery = fn, every
 }
 
 // Cycle returns the current NoC cycle.
@@ -365,6 +387,42 @@ func (s *Simulator) ReplyNet() noc.Fabric { return s.repNet }
 
 // MCNodes returns the MC node ids.
 func (s *Simulator) MCNodes() []int { return s.mcNodes }
+
+// StateDumpJSON returns a JSON diagnostic of both fabrics' non-quiescent
+// state (the structured form of the watchdog's text dump). Like DumpState
+// it only reads, but it must run on the goroutine stepping the simulator —
+// the watchdog poll services Inspector state requests for exactly that
+// reason.
+func (s *Simulator) StateDumpJSON() []byte {
+	type dump struct {
+		Cycle       int64          `json:"cycle"`
+		Benchmark   string         `json:"benchmark"`
+		Scheme      string         `json:"scheme"`
+		Request     *noc.StateDump `json:"request"`
+		Reply       *noc.StateDump `json:"reply,omitempty"`
+		RepInFlight int            `json:"reply_in_flight"`
+	}
+	d := dump{
+		Cycle:       s.cycle,
+		Benchmark:   s.kernel.Name,
+		Scheme:      s.cfg.Scheme.String(),
+		RepInFlight: s.repNet.InFlight(),
+	}
+	req := s.reqNet.StateSnapshot()
+	d.Request = &req
+	if rep, ok := s.repNet.(*noc.Network); ok {
+		rd := rep.StateSnapshot()
+		d.Reply = &rd
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		// The dump types contain only marshallable fields; a failure here is
+		// a programming error worth surfacing in the payload, not a panic in
+		// a diagnostics path.
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return b
+}
 
 // resetStats clears all measurement counters at the warmup boundary.
 func (s *Simulator) resetStats() {

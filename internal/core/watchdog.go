@@ -39,6 +39,27 @@ type CheckOptions struct {
 	// true aborts the run with ErrInterrupted. The experiment harness wires
 	// context cancellation and per-run timeouts through it.
 	Interrupt func() bool
+	// Inspector, when non-nil, receives a progress report every PollEvery
+	// cycles and may request a state snapshot, which the run produces at the
+	// same poll — the only race-free point to observe simulator state from
+	// outside its goroutine. Live introspection (obs.RunStatus) hooks in
+	// here; the inspector must only record, never mutate.
+	Inspector Inspector
+}
+
+// Inspector observes a checked run from outside its goroutine. All methods
+// are called on the simulation goroutine at watchdog-poll cadence;
+// implementations must be fast and non-blocking.
+type Inspector interface {
+	// Progress reports the run's position: the current NoC cycle, in-flight
+	// packets per fabric, and how long the watchdog has seen no fabric move
+	// a flit (0 is healthy; approaching DeadlockCycles is a stall).
+	Progress(cycle int64, reqInFlight, repInFlight int, noProgressFor int64)
+	// WantState reports whether a state snapshot is wanted; when it returns
+	// true the run calls State with Simulator.StateDumpJSON's payload.
+	WantState() bool
+	// State delivers the requested snapshot.
+	State(dump []byte)
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -164,6 +185,13 @@ func (w *watchdog) poll() error {
 		// Nothing in flight: cores/MCs may legitimately compute without NoC
 		// traffic, so the deadlock timer only runs while flits exist.
 		w.lastProgress = now
+	}
+
+	if ins := w.opt.Inspector; ins != nil {
+		ins.Progress(now, req.inFlight, rep.inFlight, now-w.lastProgress)
+		if ins.WantState() {
+			ins.State(w.s.StateDumpJSON())
+		}
 	}
 
 	if w.opt.DeadlockCycles > 0 && now-w.lastProgress >= w.opt.DeadlockCycles {

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var updateDecompose = flag.Bool("update", false, "rewrite testdata/decompose_golden.csv from the current simulator")
+
+// decomposeConfig is the short-horizon config behind the golden file.
+func decomposeConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.WarmupCycles = 300
+	cfg.MeasureCycles = 700
+	return cfg
+}
+
+// TestDecomposeGolden pins the full decomposition pipeline — trace hooks,
+// collector assembly, latency attribution, table rendering — against a
+// golden CSV on one small benchmark. The simulator is deterministic, so any
+// byte change here means either an intentional model change (rerun with
+// -update) or an observability bug.
+func TestDecomposeGolden(t *testing.T) {
+	fig, err := Decompose(decomposeConfig(), "bfs", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fig.Table.CSV()
+
+	golden := filepath.Join("testdata", "decompose_golden.csv")
+	if *updateDecompose {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("decomposition diverged from golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Structural checks independent of the exact numbers: both schemes
+	// present, queue shares recorded, and the paper's direction holds —
+	// ARI removes most of the baseline's injection queueing.
+	base, ok1 := fig.Summary["queue_share_"+core.XYBaseline.String()]
+	ari, ok2 := fig.Summary["queue_share_"+core.AdaARI.String()]
+	if !ok1 || !ok2 {
+		t.Fatalf("summary missing queue shares: %v", fig.Summary)
+	}
+	if base <= ari {
+		t.Errorf("baseline queue share %.3f <= ARI %.3f; expected ARI to shrink queueing", base, ari)
+	}
+}
+
+// TestDecomposeRejectsUntraceableScheme: behavioural reply fabrics have no
+// per-hop state and must be refused, not silently decomposed as zeros.
+func TestDecomposeRejectsUntraceableScheme(t *testing.T) {
+	cfg := decomposeConfig()
+	cfg.IdealReply = true
+	if _, err := Decompose(cfg, "bfs", 4, core.XYBaseline); err == nil {
+		t.Fatal("ideal reply fabric decomposed without error")
+	}
+}
+
+func TestDecomposeUnknownBench(t *testing.T) {
+	if _, err := Decompose(decomposeConfig(), "no-such-bench", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

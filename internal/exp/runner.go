@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -60,6 +61,19 @@ type Runner struct {
 	// Journal, when non-nil, persists every finished run and pre-seeds the
 	// cache on lookup, making sweeps resumable across process kills.
 	Journal *Journal
+
+	// Monitor, when non-nil, tracks every executing run for live
+	// introspection: each run registers on start, reports progress at
+	// watchdog-poll cadence through core.CheckOptions.Inspector, and
+	// deregisters on completion. The job server exposes the monitor at
+	// /metrics and /debug/nocstate.
+	Monitor *obs.RunMonitor
+	// Instrument, when non-nil, is called with every freshly built simulator
+	// before it runs. Observability attachments (metrics registries, packet
+	// tracers) hook in here; the hook must only observe, never alter
+	// simulated behaviour — results are cached and journalled under the
+	// assumption that a config determines its Result byte-identically.
+	Instrument func(*core.Simulator)
 
 	mu    sync.Mutex
 	cache map[runKey]core.Result
@@ -323,6 +337,14 @@ func (r *Runner) simulate(ctx context.Context, j Job) (res core.Result, err erro
 	sim, err := newSimulator(j.Cfg, j.Kernel)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("exp: %s: %w", name, err)
+	}
+	if r.Instrument != nil {
+		r.Instrument(sim)
+	}
+	if r.Monitor != nil {
+		st := r.Monitor.Begin(name, j.Cfg.Scheme.String(), j.Cfg.WarmupCycles+j.Cfg.MeasureCycles)
+		defer r.Monitor.End(st)
+		opt.Inspector = st
 	}
 	res, err = sim.RunChecked(opt)
 	if err != nil {

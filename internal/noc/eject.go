@@ -67,6 +67,11 @@ func (e *ejector) consume(now int64) {
 		if f.isTail() {
 			e.net.stats.recordEject(f.pkt, now)
 			e.net.inFlight--
+			// The eject event fires before the handler, which may recycle the
+			// packet into the pool (zeroing it).
+			if tr := e.net.tracer; tr != nil && f.pkt.traced {
+				tr.PacketEvent(f.pkt.ID, f.pkt.Type, f.pkt.Src, f.pkt.Dst, e.node, TraceEject, now)
+			}
 			if h := e.net.ejectHandler; h != nil {
 				h(e.node, f.pkt, now)
 			}

@@ -60,9 +60,14 @@ func (t PacketType) IsLong() bool { return t == ReadReply || t == WriteRequest }
 type Packet struct {
 	ID   uint64
 	Type PacketType
-	Src  int // source node id
-	Dst  int // destination node id
-	Size int // length in flits at this network's link width
+	// traced marks a packet sampled by the network's Tracer; the flag only
+	// selects which packets emit lifecycle events and never influences a
+	// routing or allocation decision. The packet pool's zeroing clears it.
+	// It sits in Type's padding so the struct size is unchanged.
+	traced bool
+	Src    int // source node id
+	Dst    int // destination node id
+	Size   int // length in flits at this network's link width
 
 	// Priority is the ARI multi-level priority field carried in the header.
 	// It is set to Config.PriorityLevels-1 at generation and decremented by

@@ -67,6 +67,16 @@ type Network struct {
 	// the default is event-driven stepping over the active components.
 	scan bool
 	pool pktPool
+
+	// tracer receives lifecycle events for every traceEvery-th packet (see
+	// SetTracer); nil disables tracing at the cost of a nil check on
+	// head-flit events.
+	tracer     Tracer
+	traceEvery uint64
+	// vaGrants counts successful VC allocations. It lives here rather than
+	// in NetStats so encoded Results (which embed NetStats) stay
+	// byte-identical to pre-observability golden files.
+	vaGrants uint64
 }
 
 var _ Fabric = (*Network)(nil)
@@ -314,6 +324,49 @@ func (n *Network) Idle() bool {
 
 // Stats returns the network statistics.
 func (n *Network) Stats() *NetStats { return &n.stats }
+
+// VAGrants returns the cumulative count of successful VC allocations across
+// all routers (observability; never reset, consumers take deltas).
+func (n *Network) VAGrants() uint64 { return n.vaGrants }
+
+// BufferedFlits returns the flits resident in routers (VC buffers plus
+// staged arrivals): the instantaneous router occupancy of the fabric.
+func (n *Network) BufferedFlits() int {
+	total := 0
+	for _, r := range n.routers {
+		total += r.flits
+	}
+	return total
+}
+
+// NIQueuedFlits returns the flits waiting in all NI injection queues.
+func (n *Network) NIQueuedFlits() int {
+	total := 0
+	for _, ni := range n.nis {
+		total += ni.totalQueuedFlits
+	}
+	return total
+}
+
+// VCOccupancy returns the flits buffered in input VC index v across every
+// router and port: the per-VC occupancy breakdown of BufferedFlits (staged
+// arrivals excluded — they have not landed in a VC yet). O(routers*ports);
+// call it at sampling cadence, not per cycle.
+func (n *Network) VCOccupancy(v int) int {
+	if v < 0 || v >= n.cfg.VCs {
+		return 0
+	}
+	total := 0
+	for _, r := range n.routers {
+		if r.flits == 0 {
+			continue
+		}
+		for _, ip := range r.in {
+			total += ip.vcs[v].buf.len()
+		}
+	}
+	return total
+}
 
 // NIOccupancyAvgFlits returns the mean time-weighted NI queue occupancy in
 // flits over all NIs that injected traffic.

@@ -150,6 +150,10 @@ func (ni *NI) Offer(pkt *Packet, now int64) bool {
 	ni.net.inFlight++
 	ni.net.stats.PacketsInjected[pkt.Type]++
 	ni.net.stats.FlitsInjected[pkt.Type] += uint64(pkt.Size)
+	if tr := ni.net.tracer; tr != nil && pkt.ID%ni.net.traceEvery == 0 {
+		pkt.traced = true
+		tr.PacketEvent(pkt.ID, pkt.Type, pkt.Src, pkt.Dst, ni.node, TraceNIEnqueue, now)
+	}
 	return true
 }
 
@@ -265,6 +269,9 @@ func (ni *NI) deliver(f flit, p, v int, now int64) {
 	ni.totalQueuedFlits--
 	if f.isHead() {
 		f.pkt.InjectedAt = now
+		if tr := ni.net.tracer; tr != nil && f.pkt.traced {
+			tr.PacketEvent(f.pkt.ID, f.pkt.Type, f.pkt.Src, f.pkt.Dst, ni.node, TraceInject, now)
+		}
 	}
 	// The injection link is one cycle regardless of router pipeline depth.
 	ni.ports[p].arrivals = append(ni.ports[p].arrivals, stagedFlit{f: f, vc: v, deliverAt: now + 1})

@@ -280,7 +280,7 @@ func (r *router) vcAllocate(now int64) {
 			r.rrVA = (r.rrVA + int(skipped%int64(n))) % n
 		}
 	}
-	r.vcAllocatePass(func(vc *inputVC) bool { return true })
+	r.vcAllocatePass(now, func(vc *inputVC) bool { return true })
 	if n > 0 {
 		r.rrVA = (r.rrVA + 1) % n
 	}
@@ -288,7 +288,7 @@ func (r *router) vcAllocate(now int64) {
 }
 
 // vcAllocatePass attempts allocation for waiting VCs accepted by sel.
-func (r *router) vcAllocatePass(sel func(*inputVC) bool) {
+func (r *router) vcAllocatePass(now int64, sel func(*inputVC) bool) {
 	n := len(r.allVCs)
 	for k := 0; k < n; k++ {
 		vc := r.allVCs[(r.rrVA+k)%n]
@@ -322,6 +322,10 @@ func (r *router) vcAllocatePass(sel func(*inputVC) bool) {
 			r.out[bestPort].vcs[bestVC].owner = vc.globalIdx
 			vc.outPort, vc.outVC = bestPort, bestVC
 			vc.state = vcActive
+			r.net.vaGrants++
+			if tr := r.net.tracer; tr != nil && pkt.traced {
+				tr.PacketEvent(pkt.ID, pkt.Type, pkt.Src, pkt.Dst, r.id, TraceVAGrant, now)
+			}
 		}
 	}
 }
@@ -428,6 +432,9 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	ov.credits--
 	op.flits++
 	r.net.stats.SwitchTraversals++
+	if tr := r.net.tracer; tr != nil && f.seq == 0 && f.pkt.traced {
+		tr.PacketEvent(f.pkt.ID, f.pkt.Type, f.pkt.Src, f.pkt.Dst, r.id, TraceSwitch, now)
+	}
 
 	// A flit sent at cycle t lands in the downstream buffer at
 	// t + PipelineStages (1 = single-cycle router + 1-cycle link).

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON Array/Object
+// format (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry a duration, "M" metadata events name the
+// process/thread rows. Timestamps are microseconds; we map 1 NoC cycle to
+// 1 µs so chrome://tracing's time axis reads directly in cycles.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the Object-format wrapper.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every completed packet lifecycle of the given
+// collectors as a Chrome trace_event JSON document, loadable in
+// chrome://tracing or Perfetto. Each collector becomes one "process" row
+// (named by its label), each packet one slice on its destination node's
+// "thread", decomposed into queue / network / eject sub-phases.
+func WriteChromeTrace(w io.Writer, colls ...*Collector) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for pi, c := range colls {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pi,
+			Args:  map[string]any{"name": c.Label + " network"},
+		})
+		for _, p := range c.Done() {
+			name := fmt.Sprintf("pkt %d %s", p.ID, p.Type)
+			args := map[string]any{
+				"id": p.ID, "type": p.Type.String(), "src": p.Src, "dst": p.Dst,
+				"hops": len(p.Hops),
+			}
+			last := p.lastSwitch()
+			phases := []struct {
+				name     string
+				from, to int64
+			}{
+				{name, p.Enqueued, p.Ejected},
+				{"queue", p.Enqueued, p.Injected},
+				{"network", p.Injected, last},
+				{"eject", last, p.Ejected},
+			}
+			for _, ph := range phases {
+				if ph.to < ph.from {
+					continue
+				}
+				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+					Name:  ph.name,
+					Cat:   c.Label,
+					Phase: "X",
+					TS:    ph.from,
+					Dur:   ph.to - ph.from,
+					PID:   pi,
+					TID:   p.Dst,
+					Args:  args,
+				})
+			}
+			for _, h := range p.Hops {
+				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+					Name:  h.Stage.String(),
+					Cat:   c.Label,
+					Phase: "i",
+					TS:    h.Cycle,
+					PID:   pi,
+					TID:   p.Dst,
+					Args:  map[string]any{"node": h.Node, "pkt": p.ID},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// chromeSchema mirrors testdata/chrome_trace_schema.json: the subset of the
+// trace_event format contract the exporter must satisfy for chrome://tracing
+// and Perfetto to load its output.
+type chromeSchema struct {
+	TopLevelRequired        []string            `json:"top_level_required"`
+	AllowedDisplayTimeUnits []string            `json:"allowed_display_time_units"`
+	EventRequired           []string            `json:"event_required"`
+	AllowedPhases           []string            `json:"allowed_phases"`
+	PhaseRequired           map[string][]string `json:"phase_required"`
+	NumericFields           []string            `json:"numeric_fields"`
+}
+
+func loadChromeSchema(t *testing.T) chromeSchema {
+	t.Helper()
+	raw, err := os.ReadFile("testdata/chrome_trace_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s chromeSchema
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatalf("schema fixture unparsable: %v", err)
+	}
+	return s
+}
+
+func TestWriteChromeTraceMatchesSchema(t *testing.T) {
+	schema := loadChromeSchema(t)
+
+	req := NewCollector("req")
+	feedLifecycle(req, 1, noc.ReadRequest, 0, 2, []HopEvent{
+		{Node: 0, Stage: noc.TraceVAGrant, Cycle: 3},
+		{Node: 0, Stage: noc.TraceSwitch, Cycle: 4},
+	}, 10)
+	rep := NewCollector("rep")
+	feedLifecycle(rep, 2, noc.ReadReply, 5, 5, nil, 14) // zero-length queue phase
+	feedLifecycle(rep, 3, noc.WriteReply, 7, 9, []HopEvent{
+		{Node: 2, Stage: noc.TraceSwitch, Cycle: 11},
+	}, 15)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, req, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter output is not a JSON object: %v", err)
+	}
+	for _, k := range schema.TopLevelRequired {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("top-level key %q missing", k)
+		}
+	}
+	var unit string
+	if err := json.Unmarshal(doc["displayTimeUnit"], &unit); err != nil {
+		t.Fatalf("displayTimeUnit: %v", err)
+	}
+	if !contains(schema.AllowedDisplayTimeUnits, unit) {
+		t.Errorf("displayTimeUnit = %q, allowed %v", unit, schema.AllowedDisplayTimeUnits)
+	}
+
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["traceEvents"], &events); err != nil {
+		t.Fatalf("traceEvents: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events exported")
+	}
+	phases := map[string]int{}
+	for i, ev := range events {
+		for _, k := range schema.EventRequired {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, k, ev)
+			}
+		}
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			t.Fatalf("event %d ph: %v", i, err)
+		}
+		if !contains(schema.AllowedPhases, ph) {
+			t.Fatalf("event %d has phase %q, allowed %v", i, ph, schema.AllowedPhases)
+		}
+		phases[ph]++
+		for _, k := range schema.PhaseRequired[ph] {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("%q event %d missing %q", ph, i, k)
+			}
+		}
+		for _, k := range schema.NumericFields {
+			raw, ok := ev[k]
+			if !ok {
+				continue
+			}
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				t.Fatalf("event %d field %q not numeric: %s", i, k, raw)
+			}
+			if k == "dur" && v < 0 {
+				t.Fatalf("event %d has negative duration %v", i, v)
+			}
+		}
+	}
+	// One process-name metadata row per collector; per packet four "X"
+	// slices (full + three sub-phases) and one instant per hop.
+	if phases["M"] != 2 {
+		t.Errorf("M events = %d, want 2 (one per collector)", phases["M"])
+	}
+	if want := 3 * 4; phases["X"] != want {
+		t.Errorf("X events = %d, want %d", phases["X"], want)
+	}
+	if want := 2 + 1; phases["i"] != want {
+		t.Errorf("i events = %d, want %d", phases["i"], want)
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+// Equivalence lock for the observability layer: attaching the metrics
+// registry and packet tracers to a simulation must leave its Result
+// byte-identical to an uninstrumented run — observation only, no Heisenberg.
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simeq"
+	"repro/internal/trace"
+)
+
+func TestInstrumentedRunIsByteIdentical(t *testing.T) {
+	kernel, err := trace.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range []core.Scheme{core.XYBaseline, core.AdaARI} {
+		t.Run(sch.String(), func(t *testing.T) {
+			cfg := simeq.ShortConfig()
+			cfg.Scheme = sch
+
+			want := simeq.RunEncoded(t, cfg, kernel)
+
+			sim, err := core.NewSimulator(cfg, kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry(50)
+			obs.AttachSimulator(reg, sim)
+			reg.Reserve(int((cfg.WarmupCycles+cfg.MeasureCycles)/50) + 2)
+			reqColl, repColl := obs.AttachTracers(sim, 2)
+			res := sim.Run()
+			got, err := simeq.Encode(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("instrumented run diverged from plain run under %s", sch)
+			}
+
+			// The identity must not hold vacuously: the instruments saw data.
+			if reg.Samples() == 0 {
+				t.Fatal("registry never sampled")
+			}
+			if reg.Last("gpu.instructions") == 0 && reg.Last("gpu.core_cycles") == 0 {
+				t.Fatal("gpu probes recorded nothing")
+			}
+			if reqColl == nil || len(reqColl.Done()) == 0 {
+				t.Fatal("request tracer recorded no lifecycles")
+			}
+			if repColl == nil || len(repColl.Done()) == 0 {
+				t.Fatal("reply tracer recorded no lifecycles")
+			}
+			d := repColl.Decompose()
+			if d.Packets == 0 || d.Total.Value() <= 0 {
+				t.Fatalf("decomposition empty: %+v", d)
+			}
+		})
+	}
+}
+
+// TestBehaviouralFabricAttaches covers the ideal-reply path: the registry
+// attaches its behavioural probes (no per-VC state), tracers degrade to
+// request-only, and the run still matches the plain one byte for byte.
+func TestBehaviouralFabricAttaches(t *testing.T) {
+	kernel, err := trace.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simeq.ShortConfig()
+	cfg.Scheme = core.XYBaseline
+	cfg.IdealReply = true
+
+	want := simeq.RunEncoded(t, cfg, kernel)
+	sim, err := core.NewSimulator(cfg, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry(50)
+	obs.AttachSimulator(reg, sim)
+	reqColl, repColl := obs.AttachTracers(sim, 2)
+	res := sim.Run()
+	got, err := simeq.Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("instrumented ideal-reply run diverged from plain run")
+	}
+	if repColl != nil {
+		t.Fatal("ideal reply fabric produced a tracer; expected nil")
+	}
+	if reqColl == nil || len(reqColl.Done()) == 0 {
+		t.Fatal("request tracer recorded no lifecycles")
+	}
+	if reg.Samples() == 0 {
+		t.Fatal("registry never sampled")
+	}
+	if reg.Last("rep.ejected_packets.read_reply") == 0 {
+		t.Fatal("behavioural reply probes recorded nothing")
+	}
+}

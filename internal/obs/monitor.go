@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunMonitor tracks every executing simulation for live introspection: the
+// job server exposes its snapshot at /metrics (cycles/sec, ETA, watchdog
+// state) and fetches on-demand NoC state dumps for /debug/nocstate. It is
+// safe for concurrent use: runs register/deregister from worker goroutines
+// and HTTP handlers read snapshots concurrently.
+type RunMonitor struct {
+	mu   sync.Mutex
+	runs map[*RunStatus]struct{}
+}
+
+// NewRunMonitor returns an empty monitor.
+func NewRunMonitor() *RunMonitor {
+	return &RunMonitor{runs: make(map[*RunStatus]struct{})}
+}
+
+// Begin registers one starting run; the returned status implements
+// core.Inspector and is wired into the run's CheckOptions so the simulation
+// goroutine reports progress at every watchdog poll.
+func (m *RunMonitor) Begin(name, scheme string, totalCycles int64) *RunStatus {
+	st := &RunStatus{
+		name:     name,
+		scheme:   scheme,
+		total:    totalCycles,
+		start:    time.Now(),
+		stateCh:  make(chan []byte, 1),
+		lastPoll: time.Now().UnixNano(),
+	}
+	m.mu.Lock()
+	m.runs[st] = struct{}{}
+	m.mu.Unlock()
+	return st
+}
+
+// End deregisters a finished run.
+func (m *RunMonitor) End(st *RunStatus) {
+	m.mu.Lock()
+	delete(m.runs, st)
+	m.mu.Unlock()
+}
+
+// Active returns the currently registered runs.
+func (m *RunMonitor) Active() []*RunStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*RunStatus, 0, len(m.runs))
+	for st := range m.runs {
+		out = append(out, st)
+	}
+	return out
+}
+
+// Snapshot returns a progress report for every active run.
+func (m *RunMonitor) Snapshot() []RunProgress {
+	active := m.Active()
+	out := make([]RunProgress, 0, len(active))
+	for _, st := range active {
+		out = append(out, st.Report())
+	}
+	return out
+}
+
+// RunProgress is a point-in-time progress report of one executing run.
+type RunProgress struct {
+	// Name is "bench/scheme" — the run's display identity.
+	Name   string `json:"name"`
+	Scheme string `json:"scheme"`
+	// Cycle is the last reported NoC cycle; TotalCycles the run's horizon
+	// (warmup + measurement; 0 when unknown, e.g. fixed-work runs).
+	Cycle       int64 `json:"cycle"`
+	TotalCycles int64 `json:"total_cycles"`
+	// CyclesPerSec is the observed simulation rate since the run started;
+	// ETASeconds extrapolates it over the remaining cycles (-1 = unknown).
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	ETASeconds   float64 `json:"eta_seconds"`
+	// NoProgressFor is the watchdog's count of cycles without any fabric
+	// moving a flit (its deadlock timer); 0 is healthy.
+	NoProgressFor int64 `json:"no_progress_for"`
+	ReqInFlight   int   `json:"req_in_flight"`
+	RepInFlight   int   `json:"rep_in_flight"`
+	// AgeSeconds is the run's wall-clock age.
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// RunStatus is the live state of one executing run. The simulation
+// goroutine writes it through the core.Inspector methods (Progress,
+// WantState, State); HTTP handlers read it via Progress()/FetchState.
+type RunStatus struct {
+	name   string
+	scheme string
+	total  int64
+	start  time.Time
+
+	cycle       atomic.Int64
+	noProgress  atomic.Int64
+	reqInFlight atomic.Int64
+	repInFlight atomic.Int64
+	lastPoll    int64 // unix nanos of the last inspector poll (atomic)
+
+	stateReq atomic.Bool
+	stateCh  chan []byte
+	fetchMu  sync.Mutex
+}
+
+// Name returns the run's display identity ("bench/scheme").
+func (st *RunStatus) Name() string { return st.name }
+
+// Progress implements core.Inspector; the simulation goroutine calls it at
+// every watchdog poll.
+func (st *RunStatus) Progress(cycle int64, reqInFlight, repInFlight int, noProgressFor int64) {
+	st.cycle.Store(cycle)
+	st.reqInFlight.Store(int64(reqInFlight))
+	st.repInFlight.Store(int64(repInFlight))
+	st.noProgress.Store(noProgressFor)
+	atomic.StoreInt64(&st.lastPoll, time.Now().UnixNano())
+}
+
+// WantState implements core.Inspector: it reports whether a state snapshot
+// has been requested (FetchState).
+func (st *RunStatus) WantState() bool { return st.stateReq.Load() }
+
+// State implements core.Inspector: the simulation goroutine delivers the
+// requested snapshot.
+func (st *RunStatus) State(dump []byte) {
+	if st.stateReq.CompareAndSwap(true, false) {
+		select {
+		case st.stateCh <- dump:
+		default:
+		}
+	}
+}
+
+// FetchState requests a NoC state snapshot and waits for the simulation
+// goroutine to produce it at its next watchdog poll (microseconds of wall
+// time for a healthy run). The snapshot is taken on the simulation's own
+// goroutine — the only race-free place to read simulator state.
+func (st *RunStatus) FetchState(ctx context.Context) ([]byte, error) {
+	st.fetchMu.Lock()
+	defer st.fetchMu.Unlock()
+	// Drain a stale snapshot from an earlier timed-out fetch.
+	select {
+	case <-st.stateCh:
+	default:
+	}
+	st.stateReq.Store(true)
+	select {
+	case dump := <-st.stateCh:
+		return dump, nil
+	case <-ctx.Done():
+		st.stateReq.Store(false)
+		return nil, ctx.Err()
+	}
+}
+
+// Report returns a point-in-time progress report.
+func (st *RunStatus) Report() RunProgress {
+	cycle := st.cycle.Load()
+	age := time.Since(st.start).Seconds()
+	p := RunProgress{
+		Name:          st.name,
+		Scheme:        st.scheme,
+		Cycle:         cycle,
+		TotalCycles:   st.total,
+		NoProgressFor: st.noProgress.Load(),
+		ReqInFlight:   int(st.reqInFlight.Load()),
+		RepInFlight:   int(st.repInFlight.Load()),
+		AgeSeconds:    age,
+		ETASeconds:    -1,
+	}
+	if age > 0 {
+		p.CyclesPerSec = float64(cycle) / age
+	}
+	if p.CyclesPerSec > 0 && st.total > 0 {
+		remaining := st.total - cycle
+		if remaining < 0 {
+			remaining = 0
+		}
+		p.ETASeconds = float64(remaining) / p.CyclesPerSec
+	}
+	return p
+}

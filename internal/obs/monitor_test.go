@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunMonitorLifecycleAndReport(t *testing.T) {
+	m := NewRunMonitor()
+	st := m.Begin("bfs/Ada-ARI", "Ada-ARI", 1000)
+	if got := len(m.Active()); got != 1 {
+		t.Fatalf("Active = %d, want 1", got)
+	}
+
+	st.Progress(400, 7, 3, 0)
+	p := st.Report()
+	if p.Name != "bfs/Ada-ARI" || p.Scheme != "Ada-ARI" {
+		t.Fatalf("identity: %+v", p)
+	}
+	if p.Cycle != 400 || p.TotalCycles != 1000 {
+		t.Fatalf("cycles: %+v", p)
+	}
+	if p.ReqInFlight != 7 || p.RepInFlight != 3 {
+		t.Fatalf("in-flight: %+v", p)
+	}
+	if p.CyclesPerSec <= 0 || p.ETASeconds < 0 {
+		t.Fatalf("rate/ETA not derived: %+v", p)
+	}
+	if snaps := m.Snapshot(); len(snaps) != 1 || snaps[0].Cycle != 400 {
+		t.Fatalf("Snapshot: %+v", snaps)
+	}
+
+	m.End(st)
+	if got := len(m.Active()); got != 0 {
+		t.Fatalf("Active after End = %d, want 0", got)
+	}
+}
+
+// TestRunStatusETAUnknownWithoutHorizon: fixed-work runs report total 0 and
+// must yield ETA -1, never a division artefact.
+func TestRunStatusETAUnknownWithoutHorizon(t *testing.T) {
+	m := NewRunMonitor()
+	st := m.Begin("bfs/work", "Ada-ARI", 0)
+	st.Progress(100, 0, 0, 0)
+	if p := st.Report(); p.ETASeconds != -1 {
+		t.Fatalf("ETA = %v, want -1", p.ETASeconds)
+	}
+}
+
+// TestFetchStateHandshake drives the Inspector side the way the watchdog
+// poll does: WantState turns true only while a fetch is pending, State
+// delivers exactly once, and a timed-out fetch leaves no stale request or
+// snapshot behind.
+func TestFetchStateHandshake(t *testing.T) {
+	m := NewRunMonitor()
+	st := m.Begin("bfs/Ada-ARI", "Ada-ARI", 1000)
+	defer m.End(st)
+
+	if st.WantState() {
+		t.Fatal("WantState true before any fetch")
+	}
+
+	// Simulation-goroutine stand-in: poll and serve state requests.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st.WantState() {
+				st.State([]byte(`{"cycle":42}`))
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	defer close(stop)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	dump, err := st.FetchState(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dump) != `{"cycle":42}` {
+		t.Fatalf("dump = %s", dump)
+	}
+	// Served request is consumed: no lingering want.
+	if st.WantState() {
+		t.Fatal("WantState still true after serve")
+	}
+	// Second fetch works identically (the channel was fully drained).
+	if _, err := st.FetchState(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFetchStateTimesOutOnWedgedRun: with nobody polling, FetchState must
+// return the context error and clear its request flag.
+func TestFetchStateTimesOutOnWedgedRun(t *testing.T) {
+	m := NewRunMonitor()
+	st := m.Begin("bfs/Ada-ARI", "Ada-ARI", 1000)
+	defer m.End(st)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := st.FetchState(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st.WantState() {
+		t.Fatal("request flag leaked after timeout")
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryGaugeAndCounterSemantics(t *testing.T) {
+	r := NewRegistry(100)
+	var raw float64
+	r.Gauge("g", func() float64 { return raw })
+	r.Counter("c", func() float64 { return raw })
+
+	raw = 5
+	r.Sample(100)
+	raw = 12
+	r.Sample(200)
+	raw = 12
+	r.Sample(300)
+
+	g, ok := r.Series("g")
+	if !ok {
+		t.Fatal("gauge series missing")
+	}
+	for i, want := range []float64{5, 12, 12} {
+		if g.Value(i) != want {
+			t.Errorf("gauge sample %d = %v, want %v", i, g.Value(i), want)
+		}
+	}
+	c, _ := r.Series("c")
+	// First sample records the raw value; later ones the delta.
+	for i, want := range []float64{5, 7, 0} {
+		if c.Value(i) != want {
+			t.Errorf("counter sample %d = %v, want %v", i, c.Value(i), want)
+		}
+	}
+	if r.Samples() != 3 {
+		t.Fatalf("Samples = %d, want 3", r.Samples())
+	}
+	if got := r.Last("g"); got != 12 {
+		t.Fatalf("Last(g) = %v", got)
+	}
+}
+
+// TestRegistryCounterSurvivesStatsReset pins the warmup-boundary rule: when
+// the cumulative source drops (ResetStats at the end of warmup), the sample
+// records the post-reset raw value, never a negative delta.
+func TestRegistryCounterSurvivesStatsReset(t *testing.T) {
+	r := NewRegistry(10)
+	var raw float64
+	r.Counter("c", func() float64 { return raw })
+	raw = 100
+	r.Sample(10)
+	raw = 3 // source was reset and accumulated 3 since
+	r.Sample(20)
+	raw = 8
+	r.Sample(30)
+	c, _ := r.Series("c")
+	for i, want := range []float64{100, 3, 5} {
+		if c.Value(i) != want {
+			t.Errorf("sample %d = %v, want %v", i, c.Value(i), want)
+		}
+	}
+}
+
+func TestRegistryWriteCSV(t *testing.T) {
+	r := NewRegistry(50)
+	v := 1.5
+	r.Gauge("a", func() float64 { return v })
+	r.Counter("b", func() float64 { return 2 * v })
+	r.Sample(50)
+	v = 2.5
+	r.Sample(100)
+
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,a,b\n50,1.5,3\n100,2.5,2\n"
+	if b.String() != want {
+		t.Fatalf("CSV:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestRegistryDuplicateAndNilProbePanic(t *testing.T) {
+	r := NewRegistry(1)
+	r.Gauge("x", func() float64 { return 0 })
+	for name, f := range map[string]func(){
+		"duplicate": func() { r.Counter("x", func() float64 { return 0 }) },
+		"nil":       func() { r.Gauge("y", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestRegistrySampleAllocationFree is the overhead guard from the issue:
+// once Reserve has sized the series, steady-state sampling performs zero
+// heap allocations regardless of probe count.
+func TestRegistrySampleAllocationFree(t *testing.T) {
+	r := NewRegistry(100)
+	var src float64
+	for i := 0; i < 32; i++ {
+		name := "probe" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if i%2 == 0 {
+			r.Gauge(name, func() float64 { return src })
+		} else {
+			r.Counter(name, func() float64 { return src })
+		}
+	}
+	const samples = 200
+	r.Reserve(samples + 1)
+	cycle := int64(0)
+	allocs := testing.AllocsPerRun(samples, func() {
+		cycle += 100
+		src++
+		r.Sample(cycle)
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocated %.1f objects/op after Reserve, want 0", allocs)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format, hand-rolled on the stdlib: server admission/shed counters,
+// per-job progress from the run monitor (cycles, cycles/sec, ETA, watchdog
+// state), and process metrics from the Go runtime.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	st := s.Stats()
+
+	writeMetric := func(name, help, typ string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	boolToF := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+
+	writeMetric("ari_jobs_admitted", "Jobs currently holding an admission slot (executing + waiting).", "gauge", float64(st.Admitted))
+	writeMetric("ari_jobs_completed_total", "Simulations finished by this process.", "counter", float64(st.Completed))
+	writeMetric("ari_jobs_cache_hits_total", "Submissions answered from the cache or journal.", "counter", float64(st.CacheHits))
+	writeMetric("ari_jobs_shed_total", "Submissions rejected with 429 because the queue was full.", "counter", float64(st.Shed))
+	writeMetric("ari_draining", "1 once admission is closed.", "gauge", boolToF(st.Draining))
+	writeMetric("ari_service_time_seconds", "EWMA of observed simulation wall time.", "gauge", st.ServiceTimeMs/1000)
+	writeMetric("ari_uptime_seconds", "Server process uptime.", "gauge", time.Since(s.started).Seconds())
+
+	// Per-job progress, labelled by run identity. One gauge family per
+	// dimension, the Prometheus-idiomatic shape of the monitor's snapshot.
+	progress := s.monitor.Snapshot()
+	perJob := func(name, help string, read func(i int) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for i, p := range progress {
+			fmt.Fprintf(&b, "%s{job=%q} %g\n", name, p.Name, read(i))
+		}
+	}
+	fmt.Fprintf(&b, "# HELP ari_jobs_running Simulations currently executing.\n# TYPE ari_jobs_running gauge\nari_jobs_running %d\n", len(progress))
+	perJob("ari_job_progress_cycles", "Last reported NoC cycle of the run.", func(i int) float64 { return float64(progress[i].Cycle) })
+	perJob("ari_job_total_cycles", "Run horizon in cycles (warmup + measurement).", func(i int) float64 { return float64(progress[i].TotalCycles) })
+	perJob("ari_job_cycles_per_second", "Observed simulation rate.", func(i int) float64 { return progress[i].CyclesPerSec })
+	perJob("ari_job_eta_seconds", "Extrapolated time to completion (-1 = unknown).", func(i int) float64 { return progress[i].ETASeconds })
+	perJob("ari_job_no_progress_cycles", "Watchdog deadlock timer: cycles without any fabric moving a flit.", func(i int) float64 { return float64(progress[i].NoProgressFor) })
+	perJob("ari_job_in_flight_packets", "In-flight packets across both fabrics.", func(i int) float64 { return float64(progress[i].ReqInFlight + progress[i].RepInFlight) })
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeMetric("go_goroutines", "Live goroutines.", "gauge", float64(runtime.NumGoroutine()))
+	writeMetric("go_heap_alloc_bytes", "Heap bytes allocated and in use.", "gauge", float64(ms.HeapAlloc))
+	writeMetric("go_sys_bytes", "Bytes obtained from the OS.", "gauge", float64(ms.Sys))
+	writeMetric("go_gc_runs_total", "Completed GC cycles.", "counter", float64(ms.NumGC))
+	writeMetric("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", "counter", float64(ms.PauseTotalNs)/1e9)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// nocStateEntry is one job's entry in the /debug/nocstate response.
+type nocStateEntry struct {
+	Job string `json:"job"`
+	// State is core.Simulator.StateDumpJSON's payload: per-fabric router,
+	// VC, credit and oldest-packet state.
+	State json.RawMessage `json:"state,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// handleNoCState serves GET /debug/nocstate: a JSON NoC state snapshot of
+// every in-flight job, so a watchdog trip (or a suspiciously slow run) is
+// diagnosable remotely. Snapshots are produced by each run's own goroutine
+// at its next watchdog poll — the handler only requests and waits, bounded
+// by a short deadline so a wedged run reports an error instead of hanging
+// the endpoint.
+func (s *Server) handleNoCState(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	entries := []nocStateEntry{}
+	for _, st := range s.monitor.Active() {
+		e := nocStateEntry{Job: st.Name()}
+		dump, err := st.FetchState(ctx)
+		if err != nil {
+			// The run finished, or is too stuck to reach its next poll
+			// within the deadline — itself a diagnostic.
+			e.Error = "no snapshot: " + err.Error()
+		} else {
+			e.State = dump
+		}
+		entries = append(entries, e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": entries})
+}

@@ -28,12 +28,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 // Config configures a Server.
@@ -50,6 +52,11 @@ type Config struct {
 	// 0 selects the default (2×MaxInFlight); negative means no waiting
 	// slots at all — every job beyond MaxInFlight is shed.
 	QueueDepth int
+
+	// Monitor tracks executing runs for /metrics and /debug/nocstate. Nil
+	// selects the Runner's monitor, or a fresh one installed on the Runner
+	// (only when the Runner has none — an existing monitor is shared).
+	Monitor *obs.RunMonitor
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -83,6 +90,8 @@ type Server struct {
 	queue       chan struct{} // admission slots (executing + waiting)
 	work        chan struct{} // execution slots
 	mux         *http.ServeMux
+	monitor     *obs.RunMonitor
+	started     time.Time
 
 	// rootCtx is cancelled by Abort: every in-flight run aborts at its
 	// next watchdog poll. This is the drain-deadline / simulated-crash path.
@@ -114,12 +123,24 @@ func New(cfg Config) (*Server, error) {
 	case queueDepth < 0:
 		queueDepth = 0
 	}
+	monitor := cfg.Monitor
+	if monitor == nil {
+		monitor = cfg.Runner.Monitor
+	}
+	if monitor == nil {
+		monitor = obs.NewRunMonitor()
+	}
+	if cfg.Runner.Monitor == nil {
+		cfg.Runner.Monitor = monitor
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:      cfg.Runner,
 		maxInFlight: maxInFlight,
 		queue:       make(chan struct{}, maxInFlight+queueDepth),
 		work:        make(chan struct{}, maxInFlight),
+		monitor:     monitor,
+		started:     time.Now(),
 		rootCtx:     ctx,
 		abort:       cancel,
 	}
@@ -130,6 +151,16 @@ func New(cfg Config) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/readyz", s.handleReady)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/nocstate", s.handleNoCState)
+	// pprof goes on the server's own mux — ariserve never serves the
+	// DefaultServeMux, so the import's side-effect registrations alone
+	// would be unreachable.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s, nil
 }
 

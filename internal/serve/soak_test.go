@@ -7,9 +7,11 @@ package serve_test
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -72,7 +74,30 @@ func (ss *soakServer) kill(t *testing.T) {
 	}
 }
 
+// scrapeObservability hammers the observability endpoints of baseURL until
+// stop closes: the soak must survive live scraping across the kill window
+// (connection errors while the server is down are expected and ignored).
+func scrapeObservability(stop <-chan struct{}, done chan<- struct{}, baseURL string) {
+	defer func() { done <- struct{}{} }()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		for _, p := range []string{"/metrics", "/debug/nocstate", "/v1/stats"} {
+			resp, err := http.Get(baseURL + p)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestKillRestartSoakByteIdentical(t *testing.T) {
+	goroutinesAtStart := runtime.NumGoroutine()
 	base := core.DefaultConfig()
 	base.Scheme = core.AdaARI
 	base.WarmupCycles = 100
@@ -93,6 +118,13 @@ func TestKillRestartSoakByteIdentical(t *testing.T) {
 	journalPath := filepath.Join(t.TempDir(), "serve.jsonl")
 	ss := startSoakServer(t, base, journalPath, "127.0.0.1:0")
 	baseURL := "http://" + ss.addr
+
+	// Live observability scraping for the whole soak, across the kill and
+	// the restart; at the end the scrapers must not have pinned anything.
+	scrapeStop := make(chan struct{})
+	scrapeDone := make(chan struct{}, 2)
+	go scrapeObservability(scrapeStop, scrapeDone, baseURL)
+	go scrapeObservability(scrapeStop, scrapeDone, baseURL)
 
 	// One concurrent retrying client per kernel; retries ride through the
 	// shed responses, the kill, and the restart window.
@@ -162,6 +194,9 @@ func TestKillRestartSoakByteIdentical(t *testing.T) {
 	}
 
 	// Clean exit for the second incarnation.
+	close(scrapeStop)
+	<-scrapeDone
+	<-scrapeDone
 	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer scancel()
 	if err := ss2.srv.Shutdown(sctx); err != nil {
@@ -171,4 +206,5 @@ func TestKillRestartSoakByteIdentical(t *testing.T) {
 	if err := ss2.journal.Close(); err != nil {
 		t.Fatal(err)
 	}
+	goroutineBaseline(t, goroutinesAtStart)
 }

@@ -1,0 +1,58 @@
+package stats
+
+import "testing"
+
+func TestSeriesAppendAndAccess(t *testing.T) {
+	var s Series
+	if s.Len() != 0 {
+		t.Fatalf("zero-value Len = %d", s.Len())
+	}
+	if ti, v := s.Last(); ti != 0 || v != 0 {
+		t.Fatalf("zero-value Last = %d,%v", ti, v)
+	}
+	s.Append(100, 1.5)
+	s.Append(200, -2)
+	s.Append(300, 0)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i, want := range []struct {
+		t int64
+		v float64
+	}{{100, 1.5}, {200, -2}, {300, 0}} {
+		if s.Time(i) != want.t || s.Value(i) != want.v {
+			t.Errorf("sample %d = %d,%v want %d,%v", i, s.Time(i), s.Value(i), want.t, want.v)
+		}
+	}
+	if ti, v := s.Last(); ti != 300 || v != 0 {
+		t.Fatalf("Last = %d,%v, want 300,0", ti, v)
+	}
+	vals := s.Values()
+	if len(vals) != 3 || vals[0] != 1.5 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+// TestSeriesReservePreservesAndPreventsGrowth: Reserve keeps recorded data
+// and makes subsequent appends allocation-free up to the reserved size.
+func TestSeriesReservePreservesAndPreventsGrowth(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Reserve(128)
+	if s.Len() != 1 || s.Value(0) != 10 {
+		t.Fatalf("Reserve lost data: len=%d", s.Len())
+	}
+	ti := int64(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		ti++
+		s.Append(ti, float64(ti))
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocated %.1f/op after Reserve", allocs)
+	}
+	// Shrinking Reserve is a no-op.
+	s.Reserve(1)
+	if s.Len() != 102 {
+		t.Fatalf("shrinking Reserve corrupted series: len=%d", s.Len())
+	}
+}

@@ -189,6 +189,57 @@ func (t *TimeWeighted) Average() float64 {
 // Peak returns the highest level observed.
 func (t *TimeWeighted) Peak() float64 { return t.peak }
 
+// Series is a compact time series: (time, value) pairs in parallel slices,
+// appended in non-decreasing time order. It is the storage behind the
+// observability registry's per-interval metric snapshots; Reserve lets a
+// caller pre-size it so that steady-state appends never allocate (the
+// registry's sampling hot path relies on that).
+type Series struct {
+	t []int64
+	v []float64
+}
+
+// Reserve grows the series' capacity to hold at least n total samples.
+func (s *Series) Reserve(n int) {
+	if cap(s.t) < n {
+		t := make([]int64, len(s.t), n)
+		copy(t, s.t)
+		s.t = t
+	}
+	if cap(s.v) < n {
+		v := make([]float64, len(s.v), n)
+		copy(v, s.v)
+		s.v = v
+	}
+}
+
+// Append records value v at time t.
+func (s *Series) Append(t int64, v float64) {
+	s.t = append(s.t, t)
+	s.v = append(s.v, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.t) }
+
+// Time returns the i-th sample's time.
+func (s *Series) Time(i int) int64 { return s.t[i] }
+
+// Value returns the i-th sample's value.
+func (s *Series) Value(i int) float64 { return s.v[i] }
+
+// Last returns the most recent sample, or (0, 0) for an empty series.
+func (s *Series) Last() (int64, float64) {
+	if len(s.t) == 0 {
+		return 0, 0
+	}
+	return s.t[len(s.t)-1], s.v[len(s.v)-1]
+}
+
+// Values returns the underlying value slice (not a copy; callers must not
+// append to it).
+func (s *Series) Values() []float64 { return s.v }
+
 // GeoMean returns the geometric mean of xs, ignoring non-positive entries
 // the way architecture papers do when normalising IPC (a non-positive value
 // would make the product meaningless). Returns 0 for an empty or all-invalid
