@@ -1,6 +1,9 @@
 DATE := $(shell date +%Y%m%d)
+# Newest committed benchmark snapshot ('b'-suffixed re-records sort after
+# their base date).
+BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check test bench fuzz soak loadtest obs profile
+.PHONY: check test bench benchdiff fuzz soak loadtest obs profile
 
 # check is the full gate: build everything, vet, and run all tests with the
 # race detector (covers the equivalence, golden, property, and race suites).
@@ -14,9 +17,22 @@ test:
 
 # bench records the NoC stepping benchmarks (event-driven vs scan reference)
 # and the end-to-end simulator benchmarks into a dated JSON snapshot.
+# -count=3 stores every repetition; benchdiff folds them to the per-name
+# minimum, so the committed baseline uses the same min-of-N protocol as the
+# gate's fresh run.
 bench:
-	go test ./internal/noc . -run '^$$' -bench 'NetworkStep|SimulatorStep' -benchmem \
+	go test ./internal/noc . -run '^$$' -bench 'NetworkStep|SimulatorStep' -benchmem -count=3 \
 		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_$(DATE).json
+
+# benchdiff is the benchmark regression gate: re-run the NetworkStep and
+# SimulatorStep benchmarks and fail when any ns/op regresses more than 15%
+# against the newest committed BENCH_*.json snapshot. -count=3 with
+# min-of-N folding in benchdiff keeps the gate robust to scheduling noise
+# on shared CI machines.
+benchdiff:
+	go test ./internal/noc . -run '^$$' -bench 'NetworkStep|SimulatorStep' -benchmem -benchtime 0.5s -count=3 \
+		| tee /dev/stderr | go run ./cmd/benchjson \
+		| go run ./cmd/benchdiff -baseline $(BASELINE)
 
 # soak runs the fault-injection robustness suites under -race: seeded NoC
 # fault schedules across schemes with invariants checked throughout, the

@@ -71,16 +71,32 @@ func BenchmarkAreaModel(b *testing.B)   { benchFigure(b, "area", "pair_overhead"
 // BenchmarkSimulatorStep measures the raw simulator stepping rate of the
 // Table I system (cycles/second of wall time drives every figure above).
 func BenchmarkSimulatorStep(b *testing.B) {
+	benchSimStep(b, 6, 0)
+}
+
+// BenchmarkSimulatorStepShards{1,2,4} track end-to-end shard scaling on an
+// 8x8 system (cores, MCs and both networks fanned out per shard).
+func BenchmarkSimulatorStepShards1(b *testing.B) { benchSimStep(b, 8, 1) }
+func BenchmarkSimulatorStepShards2(b *testing.B) { benchSimStep(b, 8, 2) }
+func BenchmarkSimulatorStepShards4(b *testing.B) { benchSimStep(b, 8, 4) }
+
+func benchSimStep(b *testing.B, meshDim, shards int) {
+	b.Helper()
 	k, err := trace.ByName("bfs")
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := core.DefaultConfig()
 	cfg.Scheme = core.AdaARI
+	cfg.MeshWidth = meshDim
+	cfg.MeshHeight = meshDim
+	cfg.Shards = shards
 	sim, err := core.NewSimulator(cfg, k)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(sim.Close)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -62,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		journal = fs.String("journal", "", "JSONL result journal; an interrupted sweep resumes from it")
 		timeout = fs.Duration("timeout", 0, "per-run wall-time limit (0 = unlimited)")
 		server  = fs.String("server", "", "ariserve base URL; points run remotely via the retrying client")
+		shards  = fs.Int("shards", 0, "per-run intra-run parallelism: worker shards per simulation (0/1 = serial; results byte-identical)")
 
 		obsInterval = fs.Int64("obs-interval", 0, "metrics sampling interval in NoC cycles for locally-run points (0 = off)")
 		obsDir      = fs.String("obs-dir", ".", "directory for per-point metric CSVs (metrics_<label>.csv)")
@@ -84,6 +86,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	base.WarmupCycles = *warmup
 	base.MeasureCycles = *cycles
 	base.Seed = *seed
+	base.Shards = *shards
+
+	// Report the effective parallelism of the sweep (concurrent runs x
+	// per-run shards) and clamp it to the host instead of silently
+	// oversubscribing. Points run one at a time here, so the budget is
+	// 1 x shards locally; with -server, per-point shards still apply but
+	// concurrent-run admission belongs to the server.
+	if eff := noc.EffectiveShards(noc.Mesh{Width: base.MeshWidth, Height: base.MeshHeight}, base.Shards); eff > 1 {
+		if *server == "" {
+			if maxP := runtime.GOMAXPROCS(0); eff > maxP {
+				fmt.Fprintf(stderr, "arisweep: clamping -shards %d to %d: 1 concurrent run x %d shards exceeds GOMAXPROCS=%d\n",
+					eff, maxP, eff, maxP)
+				base.Shards = maxP
+				eff = maxP
+			}
+			fmt.Fprintf(stderr, "arisweep: effective parallelism: 1 concurrent run x %d shards = %d workers\n", eff, eff)
+		} else {
+			fmt.Fprintf(stderr, "arisweep: effective parallelism: %d shards per point; concurrent-run admission is the server's (shard-aware MaxInFlight)\n", eff)
+		}
+	}
 
 	type point struct {
 		label string

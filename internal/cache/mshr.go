@@ -7,6 +7,9 @@ type MSHR struct {
 	entries map[uint64][]int // line addr -> waiter tokens
 	max     int
 	maxWait int
+	// free recycles waiter slices between entries (Lookup pops, Recycle
+	// pushes), keeping the steady-state miss path allocation-free.
+	free [][]int
 
 	// Stats.
 	Merges    uint64
@@ -54,7 +57,14 @@ func (m *MSHR) Lookup(lineAddr uint64, waiter int) Outcome {
 		m.FullStall++
 		return Stalled
 	}
-	m.entries[lineAddr] = append(make([]int, 0, 4), waiter)
+	var ws []int
+	if n := len(m.free); n > 0 {
+		ws = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		ws = make([]int, 0, 4)
+	}
+	m.entries[lineAddr] = append(ws, waiter)
 	m.Allocs++
 	return Allocated
 }
@@ -65,7 +75,9 @@ func (m *MSHR) Pending(lineAddr uint64) bool {
 	return ok
 }
 
-// Fill completes lineAddr's outstanding fill and returns its waiters.
+// Fill completes lineAddr's outstanding fill and returns its waiters. The
+// returned slice stays valid until the caller hands it back via Recycle (or
+// forever, if the caller never does).
 func (m *MSHR) Fill(lineAddr uint64) []int {
 	ws, ok := m.entries[lineAddr]
 	if !ok {
@@ -73,6 +85,15 @@ func (m *MSHR) Fill(lineAddr uint64) []int {
 	}
 	delete(m.entries, lineAddr)
 	return ws
+}
+
+// Recycle returns a slice obtained from Fill to the MSHR's freelist once
+// the caller is done iterating it. Optional but keeps fills allocation-free.
+func (m *MSHR) Recycle(ws []int) {
+	if ws == nil {
+		return
+	}
+	m.free = append(m.free, ws[:0])
 }
 
 // Occupied returns the number of outstanding entries.

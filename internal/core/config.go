@@ -197,6 +197,14 @@ type Config struct {
 	// bit-identical (internal/simeq proves it); the flag keeps the reference
 	// path alive for those differential tests.
 	ScanStep bool
+
+	// Shards selects deterministic intra-run parallelism: the mesh (and the
+	// node logic on it) is partitioned into this many row-contiguous shards
+	// stepped on a shared worker pool, with results byte-identical to serial
+	// stepping (internal/simeq proves it). 0 or 1 is serial; values above
+	// the mesh height are clamped (noc.EffectiveShards). Sharding composes
+	// with ScanStep and fault injection but not with packet tracing.
+	Shards int
 }
 
 // DefaultConfig returns the Table I configuration: 6x6 mesh, 28 compute
@@ -252,6 +260,9 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
 		return fmt.Errorf("core: invalid horizon warmup=%d measure=%d", c.WarmupCycles, c.MeasureCycles)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: Shards %d must be >= 0", c.Shards)
 	}
 	if c.Fault.Enabled {
 		if _, err := c.Fault.Validate(); err != nil {

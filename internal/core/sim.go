@@ -8,6 +8,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/par"
 	"repro/internal/timing"
 	"repro/internal/trace"
 )
@@ -58,6 +59,29 @@ type Simulator struct {
 	// disabled-path cost is one comparison per Step.
 	sampler     func(cycle int64)
 	sampleEvery int64
+
+	// Sharded stepping (Config.Shards > 1): both mesh networks and the node
+	// logic are partitioned by the same noc.ShardRanges row blocks and
+	// stepped on one shared worker pool, byte-identical to serial stepping.
+	shards     int
+	pool       *par.Pool
+	nodeShards []nodeShard
+	nodeStepFn func(int)
+	// parallelNodes gates the node-logic fan-out on the workload supporting
+	// concurrent per-core calls (trace.ConcurrentWorkload); when false the
+	// networks still step sharded but node ticks stay on the caller.
+	parallelNodes bool
+	// tickCoreTicks/tickMemTicks pass the per-Step clock ticks into the
+	// prebuilt nodeStepFn without a per-cycle closure allocation.
+	tickCoreTicks int
+	tickMemTicks  int
+}
+
+// nodeShard groups the cores and MCs whose nodes fall in one mesh shard's
+// row block, so node logic and its NIs are always ticked by the same worker.
+type nodeShard struct {
+	cores []*gpu.Core
+	mcs   []*mem.Controller
 }
 
 // NewSimulator assembles a simulator for kernel k under cfg, generating
@@ -113,7 +137,90 @@ func NewSimulatorWorkload(cfg Config, k trace.Kernel, w trace.Workload) (*Simula
 	if err := s.buildFaultInjectors(); err != nil {
 		return nil, err
 	}
+	if err := s.setupShards(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// setupShards enables deterministic intra-run parallelism when
+// Config.Shards asks for it: one worker pool shared by both mesh networks
+// and (when the workload allows it) the node-logic fan-out, all partitioned
+// by the same row blocks. Non-mesh reply fabrics (ideal, DA2mesh) keep
+// stepping serially on the caller — only the meshes shard.
+func (s *Simulator) setupShards() error {
+	s.shards = noc.EffectiveShards(s.mesh, s.cfg.Shards)
+	if s.shards <= 1 {
+		s.shards = 1
+		return nil
+	}
+	s.pool = par.New(s.shards)
+	if _, err := s.reqNet.SetShards(s.shards, s.pool); err != nil {
+		return fmt.Errorf("core: sharding request network: %w", err)
+	}
+	if rep, ok := s.repNet.(*noc.Network); ok {
+		if _, err := rep.SetShards(s.shards, s.pool); err != nil {
+			return fmt.Errorf("core: sharding reply network: %w", err)
+		}
+	}
+	ranges := noc.ShardRanges(s.mesh, s.shards)
+	s.nodeShards = make([]nodeShard, len(ranges))
+	for _, c := range s.cores {
+		for i, rg := range ranges {
+			if c.Node >= rg[0] && c.Node < rg[1] {
+				s.nodeShards[i].cores = append(s.nodeShards[i].cores, c)
+				break
+			}
+		}
+	}
+	for _, mc := range s.mcs {
+		for i, rg := range ranges {
+			if mc.Node >= rg[0] && mc.Node < rg[1] {
+				s.nodeShards[i].mcs = append(s.nodeShards[i].mcs, mc)
+				break
+			}
+		}
+	}
+	if cw, ok := s.workload.(trace.ConcurrentWorkload); ok {
+		s.parallelNodes = cw.ConcurrentByCore()
+	}
+	s.nodeStepFn = func(i int) { s.stepNodeShard(i) }
+	return nil
+}
+
+// stepNodeShard runs one shard's core and MC ticks for the current cycle
+// (the parallel half of Step's node phase).
+func (s *Simulator) stepNodeShard(i int) {
+	ns := &s.nodeShards[i]
+	for t := 0; t < s.tickCoreTicks; t++ {
+		for _, c := range ns.cores {
+			c.Tick()
+		}
+	}
+	for _, mc := range ns.mcs {
+		if s.cfg.ScanStep || !mc.Quiescent() {
+			mc.Tick(s.cycle, s.tickMemTicks)
+		} else {
+			mc.SkipIdle(s.tickMemTicks)
+		}
+	}
+}
+
+// Shards returns the effective shard count (1 when stepping serially).
+func (s *Simulator) Shards() int { return s.shards }
+
+// Close releases the worker pool behind sharded stepping. Serial simulators
+// hold no resources, so Close is a no-op for them; it is idempotent and the
+// simulator must not be stepped afterwards.
+func (s *Simulator) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
+	s.reqNet.Close()
+	if rep, ok := s.repNet.(*noc.Network); ok {
+		rep.Close()
+	}
 }
 
 // buildFaultInjectors attaches the deterministic fault schedules when
@@ -244,6 +351,7 @@ func (s *Simulator) buildNodes() error {
 			return err
 		}
 		workload = gen
+		s.workload = gen // setupShards checks it for per-core concurrency
 	}
 
 	s.cores = make([]*gpu.Core, len(s.ccNodes))
@@ -326,23 +434,32 @@ func (s *Simulator) sendRequest(node int, txn *mem.Transaction) bool {
 // Step advances the whole system by one NoC cycle.
 func (s *Simulator) Step() {
 	coreTicks := s.coreClock.Tick()
-	for t := 0; t < coreTicks; t++ {
-		for _, c := range s.cores {
-			c.Tick()
+	memTicks := s.memClock.Tick()
+	if s.parallelNodes {
+		// Fan the node phase out over the mesh shards: cores and MCs only
+		// interact through the networks (requests and replies hand over
+		// inside the networks' Step, not here), so per-shard tick order is
+		// free to differ from the serial (tick, node) order.
+		s.tickCoreTicks, s.tickMemTicks = coreTicks, memTicks
+		s.pool.Run(len(s.nodeShards), s.nodeStepFn)
+	} else {
+		for t := 0; t < coreTicks; t++ {
+			for _, c := range s.cores {
+				c.Tick()
+			}
+		}
+		for _, mc := range s.mcs {
+			if s.cfg.ScanStep || !mc.Quiescent() {
+				mc.Tick(s.cycle, memTicks)
+			} else {
+				// A quiescent MC's Tick only advances the DRAM clock; skip
+				// the rest of the pipeline walk but keep that clock aligned.
+				mc.SkipIdle(memTicks)
+			}
 		}
 	}
 	if s.measuring {
 		s.coreCyclesMeasured += uint64(coreTicks)
-	}
-	memTicks := s.memClock.Tick()
-	for _, mc := range s.mcs {
-		if s.cfg.ScanStep || !mc.Quiescent() {
-			mc.Tick(s.cycle, memTicks)
-		} else {
-			// A quiescent MC's Tick only advances the DRAM clock; skip the
-			// rest of the pipeline walk but keep that clock aligned.
-			mc.SkipIdle(memTicks)
-		}
 	}
 	if s.reqFault != nil {
 		s.reqFault.Step(s.cycle)

@@ -115,6 +115,11 @@ type Core struct {
 	outstandingStores int
 	addrScratch       []uint64
 	nextTxnID         uint64
+	// txnFree recycles Transaction structs: every transaction this core
+	// creates comes back exactly once through ReceiveReply (writes ack,
+	// reads fill), which returns it here — the request/reply hot path then
+	// allocates nothing. Per-core, so sharded simulation needs no locking.
+	txnFree []*mem.Transaction
 
 	// Stats (reset at end of warmup).
 	Instructions  uint64
@@ -259,7 +264,9 @@ func (c *Core) tryIssue(w int) bool {
 }
 
 // stepLSU processes up to LSUWidth queued transactions in order, stopping
-// at the first one that cannot make progress (in-order LSU).
+// at the first one that cannot make progress (in-order LSU). Pops copy the
+// queue down in place so its backing array is reused forever; re-slicing
+// from the front would creep across the array and force reallocations.
 func (c *Core) stepLSU() {
 	for n := 0; n < c.cfg.LSUWidth && len(c.lsuQ) > 0; n++ {
 		op := c.lsuQ[0]
@@ -272,7 +279,8 @@ func (c *Core) stepLSU() {
 				return
 			}
 		}
-		c.lsuQ = c.lsuQ[1:]
+		copy(c.lsuQ, c.lsuQ[1:])
+		c.lsuQ = c.lsuQ[:len(c.lsuQ)-1]
 	}
 }
 
@@ -282,7 +290,8 @@ func (c *Core) stepLSU() {
 // mix of the paper's Fig 5.
 func (c *Core) doStore(op lsuOp) bool {
 	c.nextTxnID++
-	txn := &mem.Transaction{
+	txn := c.newTxn()
+	*txn = mem.Transaction{
 		ID:      uint64(c.Index)<<40 | c.nextTxnID,
 		IsWrite: true,
 		Addr:    op.addr,
@@ -292,10 +301,22 @@ func (c *Core) doStore(op lsuOp) bool {
 	if !c.send(txn) {
 		c.nextTxnID--
 		c.LSUSendStalls++
+		c.txnFree = append(c.txnFree, txn)
 		return false
 	}
 	c.l1.AccessNoAllocate(op.addr, false)
 	return true
+}
+
+// newTxn returns a recycled (or fresh) Transaction struct; the caller
+// overwrites every field.
+func (c *Core) newTxn() *mem.Transaction {
+	if n := len(c.txnFree); n > 0 {
+		t := c.txnFree[n-1]
+		c.txnFree = c.txnFree[:n-1]
+		return t
+	}
+	return new(mem.Transaction)
 }
 
 // doLoad services a load transaction: L1 hit completes immediately, a miss
@@ -321,7 +342,8 @@ func (c *Core) doLoad(op lsuOp) bool {
 		return false
 	}
 	c.nextTxnID++
-	txn := &mem.Transaction{
+	txn := c.newTxn()
+	*txn = mem.Transaction{
 		ID:      uint64(c.Index)<<40 | c.nextTxnID,
 		IsWrite: false,
 		Addr:    line,
@@ -331,25 +353,32 @@ func (c *Core) doLoad(op lsuOp) bool {
 	if !c.send(txn) {
 		c.nextTxnID--
 		c.LSUSendStalls++
+		c.txnFree = append(c.txnFree, txn)
 		return false
 	}
 	c.mshr.Lookup(line, op.warp)
 	return true
 }
 
-// ReceiveReply handles a reply packet delivered to this core's node.
+// ReceiveReply handles a reply packet delivered to this core's node. The
+// transaction is recycled here: this is the unique end of its lifetime (no
+// other component retains it once the reply ejects).
 func (c *Core) ReceiveReply(txn *mem.Transaction) {
 	if txn.IsWrite {
 		if c.outstandingStores > 0 {
 			c.outstandingStores--
 		}
+		c.txnFree = append(c.txnFree, txn)
 		return
 	}
 	// Fill the L1 (loads allocate; fills are clean lines).
 	c.l1.Access(txn.Addr, false)
-	for _, w := range c.mshr.Fill(txn.Addr) {
+	ws := c.mshr.Fill(txn.Addr)
+	for _, w := range ws {
 		c.loadDone(w)
 	}
+	c.mshr.Recycle(ws)
+	c.txnFree = append(c.txnFree, txn)
 }
 
 // loadDone retires one outstanding load of warp w.

@@ -64,6 +64,14 @@ type Controller struct {
 	linkBits  int
 	dataBytes int
 
+	// Allocation recycling for the steady-state hot path. wbFree holds
+	// retired internal writeback transactions (reclaimed by takeWB when DRAM
+	// commits them); waiterFree holds emptied pendingReads slices. Both are
+	// per-controller, so sharded simulation needs no locking.
+	wbFree     []*Transaction
+	waiterFree [][]*Transaction
+	takeWB     func(*Transaction)
+
 	// Stats.
 	ReadHits     uint64
 	ReadMisses   uint64
@@ -88,7 +96,7 @@ func NewController(node int, cfg MCConfig, fabric noc.Fabric, linkBits, dataByte
 	if cfg.InQueueCap <= 0 || cfg.L2PipeCap <= 0 || cfg.ReplyQueueCap <= 0 || cfg.L2Latency < 0 {
 		return nil, fmt.Errorf("mem: invalid queue/latency config %+v", cfg)
 	}
-	return &Controller{
+	c := &Controller{
 		Node:         node,
 		cfg:          cfg,
 		l2:           cache.New(cfg.L2),
@@ -97,7 +105,11 @@ func NewController(node int, cfg MCConfig, fabric noc.Fabric, linkBits, dataByte
 		fabric:       fabric,
 		linkBits:     linkBits,
 		dataBytes:    dataBytes,
-	}, nil
+	}
+	// Built once here so passing it to TakeCompleted every cycle does not
+	// allocate a method-value closure.
+	c.takeWB = func(txn *Transaction) { c.wbFree = append(c.wbFree, txn) }
+	return c, nil
 }
 
 // L2 exposes the L2 bank for stats.
@@ -159,7 +171,7 @@ func (c *Controller) Tick(now int64, memTicks int) {
 // (spilling dirty victims back to DRAM) and fan replies out to every merged
 // reader; write completions were acknowledged at L2 already.
 func (c *Controller) collectDRAM(now int64) {
-	c.dramDone = c.dram.TakeCompleted(c.dramDone, nil)
+	c.dramDone = c.dram.TakeCompleted(c.dramDone, c.takeWB)
 	kept := c.dramDone[:0]
 	for _, txn := range c.dramDone {
 		if txn.IsWrite {
@@ -181,6 +193,7 @@ func (c *Controller) collectDRAM(now int64) {
 			w.ReadyAt = now
 			c.replyQ = append(c.replyQ, w)
 		}
+		c.waiterFree = append(c.waiterFree, waiters[:0])
 	}
 	c.dramDone = kept
 }
@@ -192,7 +205,8 @@ func (c *Controller) drainL2Pipe(now int64) {
 			return // reply path blocked: data stalls in the MC
 		}
 		e := c.l2Pipe[0]
-		c.l2Pipe = c.l2Pipe[1:]
+		copy(c.l2Pipe, c.l2Pipe[1:])
+		c.l2Pipe = c.l2Pipe[:len(c.l2Pipe)-1]
 		e.txn.ReadyAt = now
 		c.replyQ = append(c.replyQ, e.txn)
 	}
@@ -213,7 +227,8 @@ func (c *Controller) processRequest(now int64) {
 			return
 		}
 	}
-	c.inQ = c.inQ[1:]
+	copy(c.inQ, c.inQ[1:])
+	c.inQ = c.inQ[:len(c.inQ)-1]
 }
 
 // processRead handles a read request; returns false to retry next cycle.
@@ -242,7 +257,14 @@ func (c *Controller) processRead(txn *Transaction, now int64) bool {
 		return false
 	}
 	c.ReadMisses++
-	c.pendingReads[txn.Addr] = append(make([]*Transaction, 0, 2), txn)
+	var ws []*Transaction
+	if n := len(c.waiterFree); n > 0 {
+		ws = c.waiterFree[n-1]
+		c.waiterFree = c.waiterFree[:n-1]
+	} else {
+		ws = make([]*Transaction, 0, 2)
+	}
+	c.pendingReads[txn.Addr] = append(ws, txn)
 	c.dram.Enqueue(txn, false)
 	return true
 }
@@ -271,11 +293,19 @@ func (c *Controller) processWrite(txn *Transaction, now int64) bool {
 	return true
 }
 
-// writebackToDRAM enqueues an internal dirty-eviction write.
+// writebackToDRAM enqueues an internal dirty-eviction write, recycling a
+// retired writeback transaction when one is available.
 func (c *Controller) writebackToDRAM(addr uint64) {
 	c.Writebacks++
 	c.nextWBID++
-	wb := &Transaction{ID: 1<<63 | c.nextWBID, IsWrite: true, Addr: addr, SrcNode: -1}
+	var wb *Transaction
+	if n := len(c.wbFree); n > 0 {
+		wb = c.wbFree[n-1]
+		c.wbFree = c.wbFree[:n-1]
+	} else {
+		wb = new(Transaction)
+	}
+	*wb = Transaction{ID: 1<<63 | c.nextWBID, IsWrite: true, Addr: addr, SrcNode: -1}
 	c.dram.Enqueue(wb, true)
 }
 
@@ -302,5 +332,6 @@ func (c *Controller) injectReply(now int64) {
 	}
 	c.StallTime += now - txn.ReadyAt
 	c.RepliesSent++
-	c.replyQ = c.replyQ[1:]
+	copy(c.replyQ, c.replyQ[1:])
+	c.replyQ = c.replyQ[:len(c.replyQ)-1]
 }

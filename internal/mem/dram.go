@@ -95,6 +95,7 @@ type DRAM struct {
 	lastActAt int64
 
 	done []*dramReq // completed, awaiting pickup
+	free []*dramReq // retired request records, recycled by Enqueue
 
 	// Stats.
 	Reads       uint64
@@ -134,9 +135,15 @@ func (d *DRAM) Enqueue(txn *Transaction, writeback bool) bool {
 		return false
 	}
 	bank, row := d.mapAddr(txn.Addr)
-	d.queue = append(d.queue, &dramReq{
-		txn: txn, bank: bank, row: row, arrival: d.now, writeback: writeback,
-	})
+	var r *dramReq
+	if n := len(d.free); n > 0 {
+		r = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		r = new(dramReq)
+	}
+	*r = dramReq{txn: txn, bank: bank, row: row, arrival: d.now, writeback: writeback}
+	d.queue = append(d.queue, r)
 	return true
 }
 
@@ -241,15 +248,19 @@ func (d *DRAM) issue(r *dramReq) {
 }
 
 // TakeCompleted drains and returns completed requests in completion order.
+// The drained request records return to the Enqueue freelist.
 func (d *DRAM) TakeCompleted(out []*Transaction, wantWriteback func(*Transaction)) []*Transaction {
-	for _, r := range d.done {
+	for i, r := range d.done {
 		if r.writeback {
 			if wantWriteback != nil {
 				wantWriteback(r.txn)
 			}
-			continue
+		} else {
+			out = append(out, r.txn)
 		}
-		out = append(out, r.txn)
+		r.txn = nil
+		d.free = append(d.free, r)
+		d.done[i] = nil
 	}
 	d.done = d.done[:0]
 	return out

@@ -105,6 +105,68 @@ func BenchmarkNetworkStepScanLowLoad(b *testing.B)  { stepAtLoad(b, benchScanNet
 func BenchmarkNetworkStepEventMedLoad(b *testing.B) { stepAtLoad(b, benchScanNet(b, false), 4) }
 func BenchmarkNetworkStepScanMedLoad(b *testing.B)  { stepAtLoad(b, benchScanNet(b, true), 4) }
 
+// benchShardNet builds a 16x16 mesh stepped across k shards — large enough
+// that each shard owns multiple rows of routers and the per-step work
+// dominates the barrier cost.
+func benchShardNet(b *testing.B, shards int) *Network {
+	b.Helper()
+	n, err := NewNetwork(Config{
+		Mesh:        Mesh{Width: 16, Height: 16},
+		VCs:         4,
+		LinkBits:    128,
+		DataBytes:   128,
+		Routing:     RouteMinAdaptive,
+		NonAtomicVC: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if shards > 1 {
+		if _, err := n.SetShards(shards, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(n.Close)
+	n.SetEjectHandler(func(_ int, pkt *Packet, _ int64) { n.PutPacket(pkt) })
+	return n
+}
+
+// stepShardLoad drives dense all-to-all traffic (8 long-packet injections
+// per cycle spread over the whole mesh) so every shard is busy every step.
+func stepShardLoad(b *testing.B, n *Network) {
+	cfg := n.Config()
+	nodes := cfg.Mesh.Nodes()
+	seed := uint64(1)
+	next := func(mod int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % mod
+	}
+	long := cfg.LongPacketFlits()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 8; s++ {
+			src, dst := next(nodes), next(nodes)
+			if src == dst {
+				continue
+			}
+			pkt := n.GetPacket()
+			pkt.Type = ReadReply
+			pkt.Dst = dst
+			pkt.Size = long
+			if !n.Inject(src, pkt) {
+				n.PutPacket(pkt)
+			}
+		}
+		n.Step()
+	}
+}
+
+func BenchmarkNetworkStepShards1(b *testing.B) { stepShardLoad(b, benchShardNet(b, 1)) }
+func BenchmarkNetworkStepShards2(b *testing.B) { stepShardLoad(b, benchShardNet(b, 2)) }
+func BenchmarkNetworkStepShards4(b *testing.B) { stepShardLoad(b, benchShardNet(b, 4)) }
+func BenchmarkNetworkStepShards8(b *testing.B) { stepShardLoad(b, benchShardNet(b, 8)) }
+
 func BenchmarkRouteCompute(b *testing.B) {
 	m := Mesh{Width: 8, Height: 8}
 	var scratch []routeCandidate

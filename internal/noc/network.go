@@ -2,7 +2,9 @@ package noc
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -48,7 +50,6 @@ type Network struct {
 
 	now          int64
 	inFlight     int
-	nextPktID    uint64
 	stats        NetStats
 	ejectHandler func(node int, pkt *Packet, now int64)
 	// sinkGate, when set, lets a node refuse ejection this cycle (e.g. a
@@ -65,8 +66,18 @@ type Network struct {
 
 	// scan selects the scan-everything reference loop (Config.ScanStep);
 	// the default is event-driven stepping over the active components.
-	scan bool
-	pool pktPool
+	scan   bool
+	pool   pktPool
+	poolMu sync.Mutex
+
+	// Sharded stepping (see shard.go): the mesh is always partitioned —
+	// into one shard by default, so serial and parallel stepping share one
+	// code path — and stepPool fans the shards out when there are several.
+	shards      []*netShard
+	sharded     bool
+	stepPool    *par.Pool
+	ownPool     *par.Pool
+	shardStepFn func(int)
 
 	// tracer receives lifecycle events for every traceEvery-th packet (see
 	// SetTracer); nil disables tracing at the cost of a nil check on
@@ -125,6 +136,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		}
 	}
 	n.stats.InjLinks = injLinks
+	n.buildShards(1)
 	return n, nil
 }
 
@@ -148,6 +160,7 @@ func (n *Network) SetSinkGate(g func(node int) bool) { n.sinkGate = g }
 // ResetStats clears measurement counters (end of warmup) while preserving
 // structural fields and all in-flight state.
 func (n *Network) ResetStats() {
+	n.fold() // flush shard deltas so none survive the reset
 	meshLinks, injLinks := n.stats.MeshLinks, n.stats.InjLinks
 	n.stats = NetStats{MeshLinks: meshLinks, InjLinks: injLinks}
 	n.InjWindows = n.InjWindows[:0]
@@ -181,13 +194,17 @@ func (n *Network) Inject(node int, pkt *Packet) bool {
 		panic(fmt.Sprintf("noc: destination %d out of range", pkt.Dst))
 	}
 	pkt.Src = node
+	// Inject is called from node logic, which sharded simulations fan out
+	// over the same spatial partition as the mesh — so everything below
+	// (the NI and its shard's counters) is only touched by node's shard.
+	sh := n.nis[node].sh
 	if pkt.ID == 0 {
-		n.nextPktID++
-		pkt.ID = n.nextPktID
+		pkt.ID = sh.ctr.pktIDNext
+		sh.ctr.pktIDNext += sh.ctr.pktIDStride
 	}
 	ok := n.nis[node].Offer(pkt, n.now)
 	if ok {
-		n.injWindowCount++
+		sh.ctr.injWindow++
 	}
 	return ok
 }
@@ -199,10 +216,26 @@ func (n *Network) Inject(node int, pkt *Packet) bool {
 // simulations — see DESIGN.md §"Event-driven stepping" for the invariants
 // that make the skip safe.
 func (n *Network) Step() {
-	if n.scan {
-		n.stepScan()
-	} else {
-		n.stepActive()
+	// Fold injection-phase deltas first: the inFlight early-out below must
+	// see packets node logic injected since the previous step.
+	n.fold()
+	if n.scan || n.inFlight > 0 {
+		n.stepPool.Run(len(n.shards), n.shardStepFn)
+		if n.sharded {
+			n.commitShards()
+		}
+		if n.scan {
+			for _, e := range n.ejectors {
+				e.consume(n.now)
+			}
+		} else {
+			for _, e := range n.ejectors {
+				if e.flits > 0 {
+					e.consume(n.now)
+				}
+			}
+		}
+		n.fold()
 	}
 	if n.cfg.CheckEvery > 0 && n.now%n.cfg.CheckEvery == 0 {
 		if err := n.CheckInvariants(); err != nil {
@@ -218,33 +251,10 @@ func (n *Network) Step() {
 	}
 }
 
-// stepScan visits every component every cycle (the reference loop).
-func (n *Network) stepScan() {
-	for _, r := range n.routers {
-		r.applyArrivals(n.now)
-	}
-	for _, e := range n.ejectors {
-		e.applyArrivals(n.now)
-	}
-	for _, ni := range n.nis {
-		ni.step(n.now)
-	}
-	for _, r := range n.routers {
-		r.routeCompute(n.now)
-	}
-	for _, r := range n.routers {
-		r.vcAllocate(n.now)
-	}
-	for _, r := range n.routers {
-		r.switchAllocate(n.now)
-	}
-	for _, e := range n.ejectors {
-		e.consume(n.now)
-	}
-}
-
-// stepActive visits only components that hold flits. The activity
-// predicates are O(1) counters maintained at every flit hand-off:
+// The per-component phases of a step live in netShard.step (shard.go): the
+// serial loops this file used to hold are the one-shard special case of the
+// sharded schedule, with the same phase order and the same event-driven
+// activity predicates:
 //
 //   - a router with flits == 0 has nothing buffered or staged, so RC/VA/SA
 //     are no-ops on it (vcWaitVC implies a buffered head flit, and the
@@ -258,59 +268,42 @@ func (n *Network) stepScan() {
 //   - an ejector with no buffered or staged flits has nothing to drain.
 //
 // When no packet is in flight anywhere (InFlight == 0) the whole cycle is
-// skipped: every counter above is provably zero.
-func (n *Network) stepActive() {
-	if n.inFlight == 0 {
-		return
+// skipped: every counter above is provably zero. Ejection always runs
+// serially in node order after the shards complete (see shard.go for why).
+
+// GetPacket returns a zeroed Packet from the network's freelist. With
+// sharded stepping the freelist is shared by every shard's node logic, so
+// it locks; serial networks keep the lock-free path.
+func (n *Network) GetPacket() *Packet {
+	if n.sharded {
+		n.poolMu.Lock()
+		p := n.pool.get()
+		n.poolMu.Unlock()
+		return p
 	}
-	for _, r := range n.routers {
-		if r.flits > 0 {
-			r.applyArrivals(n.now)
-		}
-	}
-	for _, e := range n.ejectors {
-		if e.flits > 0 {
-			e.applyArrivals(n.now)
-		}
-	}
-	for _, ni := range n.nis {
-		if ni.totalQueuedFlits > 0 {
-			ni.step(n.now)
-		}
-	}
-	for _, r := range n.routers {
-		if r.flits > 0 {
-			r.routeCompute(n.now)
-		}
-	}
-	for _, r := range n.routers {
-		if r.flits > 0 {
-			r.vcAllocate(n.now)
-		}
-	}
-	for _, r := range n.routers {
-		if r.flits > 0 {
-			r.switchAllocate(n.now)
-		}
-	}
-	for _, e := range n.ejectors {
-		if e.flits > 0 {
-			e.consume(n.now)
-		}
-	}
+	return n.pool.get()
 }
 
-// GetPacket returns a zeroed Packet from the network's freelist.
-func (n *Network) GetPacket() *Packet { return n.pool.get() }
-
 // PutPacket releases a delivered or rejected packet to the freelist.
-func (n *Network) PutPacket(p *Packet) { n.pool.put(p) }
+func (n *Network) PutPacket(p *Packet) {
+	if n.sharded {
+		n.poolMu.Lock()
+		n.pool.put(p)
+		n.poolMu.Unlock()
+		return
+	}
+	n.pool.put(p)
+}
 
 // InFlight returns packets accepted but not yet delivered.
-func (n *Network) InFlight() int { return n.inFlight }
+func (n *Network) InFlight() int {
+	n.fold()
+	return n.inFlight
+}
 
 // Idle reports whether no flit exists anywhere in the network.
 func (n *Network) Idle() bool {
+	n.fold()
 	if n.inFlight != 0 {
 		return false
 	}
@@ -323,11 +316,17 @@ func (n *Network) Idle() bool {
 }
 
 // Stats returns the network statistics.
-func (n *Network) Stats() *NetStats { return &n.stats }
+func (n *Network) Stats() *NetStats {
+	n.fold()
+	return &n.stats
+}
 
 // VAGrants returns the cumulative count of successful VC allocations across
 // all routers (observability; never reset, consumers take deltas).
-func (n *Network) VAGrants() uint64 { return n.vaGrants }
+func (n *Network) VAGrants() uint64 {
+	n.fold()
+	return n.vaGrants
+}
 
 // BufferedFlits returns the flits resident in routers (VC buffers plus
 // staged arrivals): the instantaneous router occupancy of the fabric.

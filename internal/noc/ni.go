@@ -15,7 +15,10 @@ import "repro/internal/stats"
 //   - NIMultiPort: one queue, one flit per cycle total, but the head packet
 //     may bind to any VC of any of the router's multiple injection ports.
 type NI struct {
-	net    *Network
+	net *Network
+	// sh is the stepping shard that owns this NI's node; injection-side
+	// counters go to its deltas (Inject is fanned out by shard too).
+	sh     *netShard
 	node   int
 	mode   NIMode
 	router *router
@@ -120,7 +123,7 @@ func (ni *NI) CanAccept(pkt *Packet, now int64) bool {
 func (ni *NI) Offer(pkt *Packet, now int64) bool {
 	if !ni.CanAccept(pkt, now) {
 		ni.rejectedOfferEvents++
-		ni.net.stats.NIFullRejects++
+		ni.sh.ctr.niFullRejects++
 		return false
 	}
 	ni.offeredThisCycle = true
@@ -147,9 +150,9 @@ func (ni *NI) Offer(pkt *Packet, now int64) bool {
 	ni.everHeld = true
 	ni.occupancy.Set(float64(ni.totalQueuedFlits), now)
 	ni.acceptedPackets++
-	ni.net.inFlight++
-	ni.net.stats.PacketsInjected[pkt.Type]++
-	ni.net.stats.FlitsInjected[pkt.Type] += uint64(pkt.Size)
+	ni.sh.ctr.inFlight++
+	ni.sh.ctr.packetsInjected[pkt.Type]++
+	ni.sh.ctr.flitsInjected[pkt.Type] += uint64(pkt.Size)
 	if tr := ni.net.tracer; tr != nil && pkt.ID%ni.net.traceEvery == 0 {
 		pkt.traced = true
 		tr.PacketEvent(pkt.ID, pkt.Type, pkt.Src, pkt.Dst, ni.node, TraceNIEnqueue, now)
@@ -277,7 +280,7 @@ func (ni *NI) deliver(f flit, p, v int, now int64) {
 	ni.ports[p].arrivals = append(ni.ports[p].arrivals, stagedFlit{f: f, vc: v, deliverAt: now + 1})
 	ni.router.flits++
 	ni.injectedFlits++
-	ni.net.stats.InjLinkFlits++
+	ni.sh.ctr.injLinkFlits++
 }
 
 // pendingFlits returns the flits still buffered in the NI.

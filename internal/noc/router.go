@@ -70,7 +70,11 @@ type inputPort struct {
 	// upstream is the neighbouring router's output port feeding this port
 	// (nil for injection ports, whose credits return to the NI).
 	upstream *outputPort
-	ni       *NI
+	// remoteUpstream marks an upstream owned by another stepping shard:
+	// credits then return through the shard outbox instead of writing
+	// upstream.creditIn directly (see shard.go).
+	remoteUpstream bool
+	ni             *NI
 
 	// spIDs are the switch-port ids owned by this port (1 for mesh ports,
 	// InjSpeedup for injection ports).
@@ -98,6 +102,10 @@ type outputPort struct {
 	// Exactly one of destPort (mesh) or eject (local) is non-nil.
 	destPort *inputPort
 	eject    *ejector
+	// remote marks a destPort owned by another stepping shard: traversals
+	// then stage through the shard outbox instead of appending to
+	// destPort.arrivals directly (see shard.go).
+	remote bool
 
 	// flits counts traversals onto this output's link (observability).
 	flits uint64
@@ -112,7 +120,10 @@ type outputPort struct {
 // RC/VA/SA/ST pipeline and 1-cycle links, per-injection-port crossbar
 // speedup and optional priority-aware switch allocation.
 type router struct {
-	net    *Network
+	net *Network
+	// sh is the stepping shard that owns this router; phase-A counter
+	// increments go to its deltas so parallel shards never share a counter.
+	sh     *netShard
 	id     int
 	isMC   bool // tagged by the caller for stats / scheme logic
 	in     []*inputPort
@@ -322,7 +333,7 @@ func (r *router) vcAllocatePass(now int64, sel func(*inputVC) bool) {
 			r.out[bestPort].vcs[bestVC].owner = vc.globalIdx
 			vc.outPort, vc.outVC = bestPort, bestVC
 			vc.state = vcActive
-			r.net.vaGrants++
+			r.sh.ctr.vaGrants++
 			if tr := r.net.tracer; tr != nil && pkt.traced {
 				tr.PacketEvent(pkt.ID, pkt.Type, pkt.Src, pkt.Dst, r.id, TraceVAGrant, now)
 			}
@@ -416,7 +427,7 @@ func (r *router) saEligible(vc *inputVC, now int64) bool {
 		return false
 	}
 	if r.out[vc.outPort].vcs[vc.outVC].credits <= 0 {
-		r.net.stats.CreditStallCycles++
+		r.sh.ctr.creditStallCycles++
 		return false
 	}
 	return true
@@ -431,7 +442,7 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	ov := &op.vcs[vc.outVC]
 	ov.credits--
 	op.flits++
-	r.net.stats.SwitchTraversals++
+	r.sh.ctr.switchTraversals++
 	if tr := r.net.tracer; tr != nil && f.seq == 0 && f.pkt.traced {
 		tr.PacketEvent(f.pkt.ID, f.pkt.Type, f.pkt.Src, f.pkt.Dst, r.id, TraceSwitch, now)
 	}
@@ -440,10 +451,16 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	// t + PipelineStages (1 = single-cycle router + 1-cycle link).
 	due := now + int64(r.net.cfg.PipelineStages)
 	switch {
+	case op.remote:
+		// Boundary link: the destination buffer belongs to another shard,
+		// so stage through the outbox; the commit phase lands it (the
+		// downstream applyArrivals cannot read it before deliverAt anyway).
+		r.sh.outFlits = append(r.sh.outFlits, remoteFlit{dst: op.destPort, sf: stagedFlit{f: f, vc: vc.outVC, deliverAt: due}})
+		r.sh.ctr.meshLinkFlits++
 	case op.destPort != nil:
 		op.destPort.arrivals = append(op.destPort.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
 		op.destPort.router.flits++
-		r.net.stats.MeshLinkFlits++
+		r.sh.ctr.meshLinkFlits++
 	case op.eject != nil:
 		op.eject.arrivals = append(op.eject.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
 		op.eject.flits++
@@ -452,9 +469,12 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	}
 
 	// Credit for the freed input-buffer slot.
-	if vc.port.isInjection {
+	switch {
+	case vc.port.isInjection:
 		vc.port.ni.creditReturn(vc.port.injIndex, vc.vcIdx)
-	} else {
+	case vc.port.remoteUpstream:
+		r.sh.outCredits = append(r.sh.outCredits, remoteCredit{op: vc.port.upstream, vc: vc.vcIdx})
+	default:
 		vc.port.upstream.creditIn[vc.vcIdx]++
 	}
 

@@ -1,0 +1,320 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Sharded stepping partitions the mesh into K row-contiguous shards that
+// step in parallel, with results byte-identical to serial stepping. The key
+// observation is that the existing cycle structure is already two-phase:
+// every cross-router interaction (flit traversal, credit return) is staged
+// into a buffer that is only *read* at the start of the next cycle. Within
+// a cycle, phases A (applyArrivals .. switchAllocate) of different routers
+// therefore commute — except that the staging buffers themselves are plain
+// slices, so two shards must not touch the same one concurrently.
+//
+// The parallel schedule:
+//
+//  1. compute: every shard runs phases A over its own routers/NIs/ejectors.
+//     Writes that would cross a shard boundary (a flit staged toward a
+//     neighbour router, a credit returned to an upstream output port) are
+//     diverted into per-shard outboxes instead of the target's buffers.
+//  2. barrier, then commit: outboxes drain into the target buffers in shard
+//     order. Each inputPort has exactly one upstream writer, so a port's
+//     arrival order equals that single upstream's staging order — the same
+//     order serial stepping produces. Credit commits are integer additions
+//     and commute.
+//  3. eject: ejector consumption runs serially in node order. It is the one
+//     phase with global side effects (float latency accumulation, the
+//     ejection callback into node logic, inFlight retirement), and node
+//     order is exactly the serial schedule.
+//
+// Statistics counters incremented inside phase A are redirected to
+// per-shard delta structs and folded into the Network aggregates at step
+// boundaries, so concurrent increments never share a memory location and
+// the folded totals match serial counts (integer addition commutes).
+
+// shardCounters are the per-shard deltas of every counter that phase A (or
+// node-side injection, which the core layer also fans out by shard)
+// increments. fold() drains them into the Network aggregates.
+type shardCounters struct {
+	packetsInjected   [NumPacketTypes]uint64
+	flitsInjected     [NumPacketTypes]uint64
+	niFullRejects     uint64
+	injLinkFlits      uint64
+	meshLinkFlits     uint64
+	switchTraversals  uint64
+	creditStallCycles uint64
+	vaGrants          uint64
+	inFlight          int
+	injWindow         uint32
+	// pktIDNext/pktIDStride give each shard a disjoint packet-ID sequence
+	// (shard i issues i+1, i+1+K, ...), so concurrent injection needs no
+	// shared counter. IDs are not part of encoded Results; with one shard
+	// the sequence 1,2,3,... is identical to the historical serial one.
+	pktIDNext   uint64
+	pktIDStride uint64
+}
+
+// remoteFlit is a flit staged toward an input port owned by another shard.
+type remoteFlit struct {
+	dst *inputPort
+	sf  stagedFlit
+}
+
+// remoteCredit is a credit returned to an output port owned by another shard.
+type remoteCredit struct {
+	op *outputPort
+	vc int
+}
+
+// netShard is one spatial partition of the mesh: a contiguous node range
+// plus the outboxes and counter deltas of its worker.
+type netShard struct {
+	index    int
+	lo, hi   int // node range [lo, hi)
+	routers  []*router
+	ejectors []*ejector
+	nis      []*NI
+
+	ctr        shardCounters
+	outFlits   []remoteFlit
+	outCredits []remoteCredit
+}
+
+// step runs phases A for every component of the shard. scan selects the
+// scan-everything reference loop; otherwise the event-driven predicates of
+// stepActive apply per component (a fully idle shard degenerates to a
+// predicate sweep — its slot costs O(shard nodes) and touches nothing).
+func (s *netShard) step(now int64, scan bool) {
+	if scan {
+		for _, r := range s.routers {
+			r.applyArrivals(now)
+		}
+		for _, e := range s.ejectors {
+			e.applyArrivals(now)
+		}
+		for _, ni := range s.nis {
+			ni.step(now)
+		}
+		for _, r := range s.routers {
+			r.routeCompute(now)
+		}
+		for _, r := range s.routers {
+			r.vcAllocate(now)
+		}
+		for _, r := range s.routers {
+			r.switchAllocate(now)
+		}
+		return
+	}
+	for _, r := range s.routers {
+		if r.flits > 0 {
+			r.applyArrivals(now)
+		}
+	}
+	for _, e := range s.ejectors {
+		if e.flits > 0 {
+			e.applyArrivals(now)
+		}
+	}
+	for _, ni := range s.nis {
+		if ni.totalQueuedFlits > 0 {
+			ni.step(now)
+		}
+	}
+	for _, r := range s.routers {
+		if r.flits > 0 {
+			r.routeCompute(now)
+		}
+	}
+	for _, r := range s.routers {
+		if r.flits > 0 {
+			r.vcAllocate(now)
+		}
+	}
+	for _, r := range s.routers {
+		if r.flits > 0 {
+			r.switchAllocate(now)
+		}
+	}
+}
+
+// ShardRanges partitions the mesh's node ids into k row-contiguous ranges
+// (shard i covers rows [i*H/k, (i+1)*H/k)). k is clamped to [1, Height] so
+// every shard owns at least one full row; callers that fan node logic out
+// over the same workers must use these exact ranges so a node's NI is only
+// ever injected into from its own shard's worker.
+func ShardRanges(m Mesh, k int) [][2]int {
+	k = EffectiveShards(m, k)
+	ranges := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		loRow := i * m.Height / k
+		hiRow := (i + 1) * m.Height / k
+		ranges[i] = [2]int{loRow * m.Width, hiRow * m.Width}
+	}
+	return ranges
+}
+
+// EffectiveShards clamps a requested shard count to what the mesh supports:
+// at least 1, at most one shard per row.
+func EffectiveShards(m Mesh, k int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > m.Height {
+		return m.Height
+	}
+	return k
+}
+
+// buildShards installs a k-way partition (k already clamped). Every router,
+// NI and ejector learns its shard, and boundary-crossing links are marked so
+// traverse diverts them through the outboxes.
+func (n *Network) buildShards(k int) {
+	ranges := ShardRanges(n.cfg.Mesh, k)
+	n.shards = make([]*netShard, len(ranges))
+	for i, rg := range ranges {
+		s := &netShard{
+			index:    i,
+			lo:       rg[0],
+			hi:       rg[1],
+			routers:  n.routers[rg[0]:rg[1]],
+			ejectors: n.ejectors[rg[0]:rg[1]],
+			nis:      n.nis[rg[0]:rg[1]],
+		}
+		s.ctr.pktIDNext = uint64(i + 1)
+		s.ctr.pktIDStride = uint64(len(ranges))
+		for _, r := range s.routers {
+			r.sh = s
+		}
+		for _, ni := range s.nis {
+			ni.sh = s
+		}
+		n.shards[i] = s
+	}
+	// Mark boundary links: an output port whose destination router lives in
+	// another shard, and an input port whose upstream output port does.
+	for _, r := range n.routers {
+		for _, op := range r.out {
+			op.remote = op.destPort != nil && op.destPort.router.sh != r.sh
+		}
+		for _, ip := range r.in {
+			ip.remoteUpstream = ip.upstream != nil && ip.upstream.router.sh != r.sh
+		}
+	}
+	n.sharded = len(n.shards) > 1
+	if n.shardStepFn == nil {
+		n.shardStepFn = func(i int) { n.shards[i].step(n.now, n.scan) }
+	}
+}
+
+// SetShards partitions the network into k parallel stepping shards (clamped
+// to [1, mesh height]; see EffectiveShards) and returns the effective count.
+// pool supplies the workers; nil makes the network own a pool sized to the
+// shard count, released by Close. Call it on a quiescent network — before
+// traffic, or between drained runs — and never while tracing is enabled
+// (tracer callbacks are synchronous and would race across shards).
+func (n *Network) SetShards(k int, pool *par.Pool) (int, error) {
+	if n.inFlight != 0 {
+		return 0, fmt.Errorf("noc: SetShards on a network with %d packets in flight", n.inFlight)
+	}
+	k = EffectiveShards(n.cfg.Mesh, k)
+	if k > 1 && n.tracer != nil {
+		return 0, fmt.Errorf("noc: packet tracing is incompatible with %d-way sharded stepping", k)
+	}
+	n.fold()
+	// Re-sharding keeps packet IDs unique: every already-issued ID is below
+	// some shard's next-ID cursor, so the new sequences start past the max.
+	// On a fresh network base is 0 and shard i starts at i+1 with stride k
+	// (k=1 reproduces the historical serial sequence 1, 2, 3, ...).
+	base := uint64(0)
+	for _, s := range n.shards {
+		if s.ctr.pktIDNext > base+1 {
+			base = s.ctr.pktIDNext - 1
+		}
+	}
+	n.buildShards(k)
+	for i, s := range n.shards {
+		s.ctr.pktIDNext = base + uint64(i) + 1
+		s.ctr.pktIDStride = uint64(k)
+	}
+	if n.ownPool != nil {
+		n.ownPool.Close()
+		n.ownPool = nil
+	}
+	if pool == nil && k > 1 {
+		pool = par.New(k)
+		n.ownPool = pool
+	}
+	n.stepPool = pool
+	return k, nil
+}
+
+// Shards returns the current shard count (1 when serial).
+func (n *Network) Shards() int { return len(n.shards) }
+
+// Close releases the worker pool a SetShards(k, nil) call made the network
+// own. Safe to call on any network, any number of times.
+func (n *Network) Close() {
+	if n.ownPool != nil {
+		n.ownPool.Close()
+		n.ownPool = nil
+		n.stepPool = nil
+	}
+}
+
+// fold drains every shard's counter deltas into the Network aggregates.
+// Called at step boundaries and from accessors, so observers (which hold
+// &n.stats) always read fully folded totals between steps.
+func (n *Network) fold() {
+	for _, s := range n.shards {
+		c := &s.ctr
+		for t := range c.packetsInjected {
+			n.stats.PacketsInjected[t] += c.packetsInjected[t]
+			n.stats.FlitsInjected[t] += c.flitsInjected[t]
+			c.packetsInjected[t] = 0
+			c.flitsInjected[t] = 0
+		}
+		n.stats.NIFullRejects += c.niFullRejects
+		n.stats.InjLinkFlits += c.injLinkFlits
+		n.stats.MeshLinkFlits += c.meshLinkFlits
+		n.stats.SwitchTraversals += c.switchTraversals
+		n.stats.CreditStallCycles += c.creditStallCycles
+		n.vaGrants += c.vaGrants
+		n.inFlight += c.inFlight
+		n.injWindowCount += c.injWindow
+		c.niFullRejects = 0
+		c.injLinkFlits = 0
+		c.meshLinkFlits = 0
+		c.switchTraversals = 0
+		c.creditStallCycles = 0
+		c.vaGrants = 0
+		c.inFlight = 0
+		c.injWindow = 0
+	}
+}
+
+// commitShards drains the per-shard outboxes into their targets, in shard
+// order. Per input port the arrivals all come from its single upstream
+// router, so the committed order equals that router's staging order; credit
+// commits are commutative integer additions.
+func (n *Network) commitShards() {
+	for _, s := range n.shards {
+		for i := range s.outFlits {
+			rf := &s.outFlits[i]
+			rf.dst.arrivals = append(rf.dst.arrivals, rf.sf)
+			rf.dst.router.flits++
+			rf.dst = nil
+			rf.sf.f.pkt = nil
+		}
+		s.outFlits = s.outFlits[:0]
+		for i := range s.outCredits {
+			s.outCredits[i].op.creditIn[s.outCredits[i].vc]++
+			s.outCredits[i].op = nil
+		}
+		s.outCredits = s.outCredits[:0]
+	}
+}

@@ -1,0 +1,102 @@
+// Package par provides the fixed worker pool behind deterministic intra-run
+// parallelism: K persistent goroutines step K mesh shards (and the matching
+// core/MC shards) every simulated cycle. A per-cycle pool amortises goroutine
+// creation to zero — the cycle loop runs millions of times, so the dispatch
+// path must not allocate.
+package par
+
+import "sync"
+
+// Pool is a set of persistent worker goroutines executing indexed tasks.
+// Run(n, fn) invokes fn(0..n-1) across the workers and the calling
+// goroutine, returning when all invocations finished. The dispatch path is
+// allocation-free when callers pass a pre-built fn (store the closure once
+// and reuse it every cycle).
+//
+// A Pool is not reentrant: fn must not itself call Run on the same Pool.
+// Sequential phases of one simulation may freely share a Pool.
+type Pool struct {
+	workers int
+	fn      func(int)
+	work    chan int
+	tasks   sync.WaitGroup // in-flight worker invocations of the current Run
+	wg      sync.WaitGroup // worker goroutine lifetimes
+	closed  bool
+}
+
+// New returns a pool that runs tasks on up to `workers` goroutines
+// (including the caller's); workers < 1 is treated as 1. A 1-worker pool
+// spawns no goroutines and Run degenerates to an inline loop.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.work = make(chan int, workers)
+		for i := 1; i < workers; i++ {
+			p.wg.Add(1)
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for idx := range p.work {
+		p.fn(idx)
+		// Completion is a WaitGroup, not a channel send: a worker must
+		// never block after finishing a task, or a Run with more tasks
+		// than workers deadlocks against the caller's own sends.
+		p.tasks.Done()
+	}
+}
+
+// Workers returns the pool's parallelism (including the caller).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(i) for i in [0, n), distributing indices over the pool's
+// workers; index 0 always runs on the calling goroutine. It returns after
+// every invocation completed, so writes made by fn happen-before Run's
+// return (channel synchronisation orders them).
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// The fn store is published to workers by the channel sends below.
+	p.fn = fn
+	p.tasks.Add(n - 1)
+	for i := 1; i < n; i++ {
+		p.work <- i
+	}
+	fn(0)
+	p.tasks.Wait()
+	p.fn = nil
+}
+
+// Close stops the worker goroutines and waits for them to exit. The pool
+// must be idle (no Run in progress). Close is idempotent; Run on a closed
+// pool falls back to the inline loop.
+func (p *Pool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	if p.work != nil {
+		close(p.work)
+		p.wg.Wait()
+	}
+	p.workers = 1
+}

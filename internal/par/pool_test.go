@@ -1,0 +1,75 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 7, 16, 33} {
+			var hits [33]int32
+			var total int32
+			p.Run(n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+				atomic.AddInt32(&total, 1)
+			})
+			if int(total) != n {
+				t.Fatalf("workers=%d n=%d: %d invocations", workers, n, total)
+			}
+			for i := 0; i < n; i++ {
+				if hits[i] != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, hits[i])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRunHappensBefore(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	buf := make([]int, 64)
+	for iter := 0; iter < 200; iter++ {
+		p.Run(len(buf), func(i int) { buf[i] = iter + i })
+		// Reads after Run must observe every worker's writes.
+		for i := range buf {
+			if buf[i] != iter+i {
+				t.Fatalf("iter %d: buf[%d]=%d, want %d", iter, i, buf[i], iter+i)
+			}
+		}
+	}
+}
+
+func TestCloseIdempotentAndInlineFallback(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close()
+	n := 0
+	p.Run(5, func(int) { n++ }) // closed pool runs inline; no atomics needed
+	if n != 5 {
+		t.Fatalf("inline fallback ran %d times, want 5", n)
+	}
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool Workers = %d", nilPool.Workers())
+	}
+	n = 0
+	nilPool.Run(3, func(int) { n++ })
+	if n != 3 {
+		t.Fatalf("nil pool ran %d times, want 3", n)
+	}
+}
+
+func TestRunDispatchDoesNotAllocate(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var sink [8]int64
+	fn := func(i int) { sink[i]++ } // prebuilt closure, reused every Run
+	allocs := testing.AllocsPerRun(1000, func() { p.Run(len(sink), fn) })
+	if allocs != 0 {
+		t.Fatalf("Run allocated %.2f per op, want 0", allocs)
+	}
+}

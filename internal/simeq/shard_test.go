@@ -1,0 +1,117 @@
+package simeq
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// shardSchemes are the configurations the sharded-stepping lock covers:
+// the enhanced baseline, ARI on dimension-ordered routing and the full
+// adaptive ARI design (the paper's headline scheme).
+var shardSchemes = []core.Scheme{core.XYBaseline, core.XYARI, core.AdaARI}
+
+// shardKernels keeps the differential matrix tractable: a graph kernel
+// (irregular traffic), a dense compute kernel and a memory-bound streaming
+// kernel cover the load regimes that stress shard boundaries differently.
+var shardKernels = []string{"bfs", "blackScholes", "streamcluster"}
+
+// TestShardedMatchesSerial is the determinism lock for intra-run
+// parallelism: stepping the mesh (and the node logic on it) across 2 or 4
+// shards must produce a byte-identical encoded Result to serial stepping,
+// for every covered scheme and kernel. Any cross-shard effect that escapes
+// the two-phase protocol — a flit committed mid-phase, a credit seen a
+// cycle early, a stat folded in worker order — diverges here.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, scheme := range shardSchemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, name := range shardKernels {
+				k, err := trace.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := ShortConfig()
+				cfg.Scheme = scheme
+				serial := RunEncoded(t, cfg, k)
+				for _, shards := range []int{1, 2, 4} {
+					cfg.Shards = shards
+					got := RunEncoded(t, cfg, k)
+					if !bytes.Equal(got, serial) {
+						t.Fatalf("%s/%s shards=%d: result differs from serial\n%s",
+							name, scheme, shards, diffLine(got, serial))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesSerialModes composes sharding with the other stepping
+// modes: the scan-everything reference loop (ScanStep) and event-driven
+// stepping under deterministic fault injection, whose stalls make shard
+// activity ragged (a sleeping shard must skip its slot without desyncing
+// its neighbours' boundary buffers).
+func TestShardedMatchesSerialModes(t *testing.T) {
+	k, err := trace.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []struct {
+		name  string
+		apply func(*core.Config)
+	}{
+		{"scan", func(c *core.Config) { c.ScanStep = true }},
+		{"fault", func(c *core.Config) { c.Fault = fault.SoakConfig(7) }},
+		{"scan_fault", func(c *core.Config) {
+			c.ScanStep = true
+			c.Fault = fault.SoakConfig(7)
+		}},
+	}
+	for _, m := range modes {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := ShortConfig()
+			cfg.Scheme = core.AdaARI
+			m.apply(&cfg)
+			serial := RunEncoded(t, cfg, k)
+			for _, shards := range []int{2, 4} {
+				cfg.Shards = shards
+				got := RunEncoded(t, cfg, k)
+				if !bytes.Equal(got, serial) {
+					t.Fatalf("%s shards=%d: result differs from serial\n%s",
+						m.name, shards, diffLine(got, serial))
+				}
+			}
+		})
+	}
+}
+
+// TestShardedStableAcrossRepeats re-runs one sharded configuration several
+// times in-process: with real goroutine interleaving varying between
+// repeats, any latent schedule dependence shows up as run-to-run jitter
+// even when a single serial comparison happens to pass.
+func TestShardedStableAcrossRepeats(t *testing.T) {
+	k, err := trace.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ShortConfig()
+	cfg.Scheme = core.AdaARI
+	cfg.Shards = 4
+	first := RunEncoded(t, cfg, k)
+	for i := 1; i < 4; i++ {
+		got := RunEncoded(t, cfg, k)
+		if !bytes.Equal(got, first) {
+			t.Fatalf("repeat %d diverged from first sharded run\n%s", i, diffLine(got, first))
+		}
+	}
+	if len(first) == 0 {
+		t.Fatal("empty encoded result")
+	}
+}

@@ -44,6 +44,7 @@ func RunEncoded(tb testing.TB, cfg core.Config, k trace.Kernel) []byte {
 	if err != nil {
 		tb.Fatalf("build %s/%s: %v", k.Name, cfg.Scheme, err)
 	}
+	defer sim.Close()
 	res := sim.Run()
 	enc, err := Encode(res)
 	if err != nil {

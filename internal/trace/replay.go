@@ -42,6 +42,22 @@ var (
 	_ Workload = (*Replayer)(nil)
 )
 
+// ConcurrentWorkload is the opt-in marker for sharded simulation: a workload
+// whose ConcurrentByCore returns true guarantees that calls for distinct
+// cores touch disjoint state, so the simulator may tick different cores'
+// shards on different workers. Generators and Replayers qualify (all their
+// stream state is per-warp); Recorders do not — they serialise every step
+// onto one output stream, whose record order is part of the artefact.
+type ConcurrentWorkload interface {
+	ConcurrentByCore() bool
+}
+
+// ConcurrentByCore reports that generator streams are per-warp independent.
+func (g *Generator) ConcurrentByCore() bool { return true }
+
+// ConcurrentByCore reports that replay streams are per-warp independent.
+func (r *Replayer) ConcurrentByCore() bool { return true }
+
 // Recorder wraps a Workload and tees every generated step to an output
 // stream while passing results through unchanged.
 type Recorder struct {
@@ -172,9 +188,10 @@ type Replayer struct {
 	cores, warps int
 	perWarp      [][]replayRecord
 	cursor       []int
-	// split mirrors Recorder's pending bookkeeping: NextCompute reads the
-	// record, NextMem consumes it.
-	pending map[[2]int]*replayRecord
+	// pending mirrors Recorder's bookkeeping (NextCompute reads the record,
+	// NextMem consumes it), indexed core*warps+warp so concurrent calls for
+	// distinct cores touch disjoint slots.
+	pending []*replayRecord
 }
 
 // NewReplayer parses a trace stream.
@@ -204,7 +221,7 @@ func NewReplayer(rd io.Reader) (*Replayer, error) {
 		warps:   int(warps),
 		perWarp: make([][]replayRecord, int(cores)*int(warps)),
 		cursor:  make([]int, int(cores)*int(warps)),
-		pending: make(map[[2]int]*replayRecord),
+		pending: make([]*replayRecord, int(cores)*int(warps)),
 	}
 	var hdr [10]byte
 	for {
@@ -259,19 +276,19 @@ func (r *Replayer) next(core, warp int) *replayRecord {
 // NextCompute implements Workload.
 func (r *Replayer) NextCompute(core, warp int) int {
 	rec := r.next(core, warp)
-	r.pending[[2]int{core, warp}] = rec
+	r.pending[core*r.warps+warp] = rec
 	return rec.compute
 }
 
 // NextMem implements Workload.
 func (r *Replayer) NextMem(core, warp int, scratch []uint64) (bool, []uint64) {
-	key := [2]int{core, warp}
-	rec := r.pending[key]
+	idx := core*r.warps + warp
+	rec := r.pending[idx]
 	if rec == nil {
 		// NextMem without a preceding NextCompute (degenerate caller):
 		// consume a fresh record.
 		rec = r.next(core, warp)
 	}
-	delete(r.pending, key)
+	r.pending[idx] = nil
 	return rec.write, append(scratch, rec.addrs...)
 }
