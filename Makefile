@@ -3,7 +3,7 @@ DATE := $(shell date +%Y%m%d)
 # their base date).
 BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check test bench benchdiff fuzz soak loadtest obs profile
+.PHONY: check test bench benchdiff validate-analytic fuzz soak loadtest obs profile
 
 # check is the full gate: build everything, vet, and run all tests with the
 # race detector (covers the equivalence, golden, property, and race suites).
@@ -21,7 +21,7 @@ test:
 # minimum, so the committed baseline uses the same min-of-N protocol as the
 # gate's fresh run.
 bench:
-	go test ./internal/noc . -run '^$$' -bench 'NetworkStep|SimulatorStep' -benchmem -count=3 \
+	go test ./internal/noc ./internal/analytic . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite' -benchmem -count=3 \
 		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_$(DATE).json
 
 # benchdiff is the benchmark regression gate: re-run the NetworkStep and
@@ -30,9 +30,19 @@ bench:
 # min-of-N folding in benchdiff keeps the gate robust to scheduling noise
 # on shared CI machines.
 benchdiff:
-	go test ./internal/noc . -run '^$$' -bench 'NetworkStep|SimulatorStep' -benchmem -benchtime 0.5s -count=3 \
+	go test ./internal/noc ./internal/analytic . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite' -benchmem -benchtime 0.5s -count=3 \
 		| tee /dev/stderr | go run ./cmd/benchjson \
 		| go run ./cmd/benchdiff -baseline $(BASELINE)
+
+# validate-analytic is the physics drift oracle (DESIGN.md §12): re-run the
+# analytical estimator against the cycle-accurate simulator over the full
+# benchmark suite x validation schemes and fail when any per-workload error
+# drifts outside the recorded bands (internal/analytic/testdata/
+# error_bands.json). Both sides are deterministic, so a drift means the
+# simulator's physics or the model changed; re-record deliberately with
+#   go test ./internal/analytic -run TestErrorBands -analytic-record
+validate-analytic:
+	go test ./internal/analytic -run TestErrorBands -analytic-full -count=1 -v
 
 # soak runs the fault-injection robustness suites under -race: seeded NoC
 # fault schedules across schemes with invariants checked throughout, the
@@ -74,3 +84,4 @@ profile:
 fuzz:
 	go test ./internal/core -run FuzzConfigValidate -fuzz FuzzConfigValidate -fuzztime 15s
 	go test ./internal/trace -run FuzzKernelValidate -fuzz FuzzKernelValidate -fuzztime 15s
+	go test ./internal/analytic -run FuzzEstimatorProperties -fuzz FuzzEstimatorProperties -fuzztime 15s

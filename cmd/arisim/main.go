@@ -8,6 +8,9 @@
 //	       [-mesh 6x6] [-mc 8] [-vcs 4] [-reqlink 128] [-replink 128]
 //	       [-speedup 4] [-priolevels 2] [-seed 1] [-list]
 //
+// With -estimate, the analytical model (internal/analytic, DESIGN.md §12)
+// answers in microseconds instead of running the simulation.
+//
 // Observability (DESIGN.md §10):
 //
 //	arisim -bench bfs -obs-interval 100 -obs-out metrics.csv   # per-interval time series
@@ -24,6 +27,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -52,6 +56,7 @@ func main() {
 		dumpConf  = flag.Bool("dumpconfig", false, "print the effective configuration as JSON and exit")
 		work      = flag.Uint64("work", 0, "fixed-work mode: measure until this many warp-instructions retire (0 = fixed horizon)")
 		heatmap   = flag.Bool("heatmap", false, "print per-node reply-network link/injection utilisation grids")
+		estimate  = flag.Bool("estimate", false, "answer from the analytical model (internal/analytic) instead of simulating; microseconds instead of seconds")
 
 		obsInterval = flag.Int64("obs-interval", 0, "metrics sampling interval in NoC cycles (0 = observability off)")
 		obsOut      = flag.String("obs-out", "", "write the sampled metric time series as CSV to this file (requires -obs-interval)")
@@ -119,6 +124,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(string(out))
+		return
+	}
+
+	if *estimate {
+		est, err := analytic.EstimateOne(cfg, kernel)
+		if err != nil {
+			fatal(err)
+		}
+		printEstimate(est)
 		return
 	}
 
@@ -374,6 +388,22 @@ func parseScheme(s string) (core.Scheme, error) {
 		}
 	}
 	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+// printEstimate renders the analytical model's answer in the same shape as
+// a simulated result, clearly labelled as an estimate.
+func printEstimate(e analytic.Estimate) {
+	fmt.Printf("benchmark        %s\n", e.Bench)
+	fmt.Printf("scheme           %s\n", e.Scheme)
+	fmt.Println("mode             analytical estimate (no simulation; see DESIGN.md §12 for error bands)")
+	fmt.Printf("IPC              %.3f warp-instr/core-cycle (aggregate)\n", e.IPC)
+	fmt.Println()
+	fmt.Printf("request net:  avg pkt latency %.1f\n", e.ReqLatency)
+	fmt.Printf("reply net:    avg pkt latency %.1f\n", e.RepLatency)
+	fmt.Printf("MC turnaround    %.1f cycles\n", e.MCService)
+	fmt.Printf("load round trip  %.1f cycles\n", e.RoundTrip)
+	fmt.Printf("reply injection  %.4f pkt/cycle/MC (saturation %.4f%s)\n",
+		e.RepInjRate, e.SaturationRate, map[bool]string{true: ", SATURATED", false: ""}[e.Saturated])
 }
 
 func printResult(r core.Result) {

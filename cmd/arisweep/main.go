@@ -80,6 +80,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Reject a bad shard count up front: every sweep point inherits it, so
+	// letting config validation catch it at the first run (or worse, on the
+	// server) turns a flag typo into a late runtime error.
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", *shards)
+	}
 
 	base := core.DefaultConfig()
 	base.Scheme = sch

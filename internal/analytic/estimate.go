@@ -1,0 +1,233 @@
+package analytic
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Estimate is the model's answer for one (config, benchmark) point: the
+// same headline metrics the simulator's core.Result reports, computed in
+// microseconds from the closed-form model.
+type Estimate struct {
+	Bench  string `json:"bench"`
+	Scheme string `json:"scheme"`
+
+	// IPC is the aggregate warp-instructions per core cycle over all cores.
+	IPC float64 `json:"ipc"`
+
+	// ReqLatency and RepLatency are the mean packet latencies (creation to
+	// ejection, NoC cycles) on the request and reply networks.
+	ReqLatency float64 `json:"req_latency"`
+	RepLatency float64 `json:"rep_latency"`
+
+	// RoundTrip is the mean load miss round trip in NoC cycles (request +
+	// MC turnaround + reply).
+	RoundTrip float64 `json:"round_trip"`
+
+	// MCService is the mean MC turnaround (L2/DRAM + queueing).
+	MCService float64 `json:"mc_service"`
+
+	// RepInjRate is the reply-packet injection rate per MC per NoC cycle.
+	RepInjRate float64 `json:"rep_inj_rate"`
+
+	// SaturationRate is the reply network's saturation throughput in long
+	// packets per cycle per MC (ReplySaturationRate).
+	SaturationRate float64 `json:"saturation_rate"`
+
+	// Saturated reports that the operating point sits at or beyond the
+	// reply network's saturation throughput.
+	Saturated bool `json:"saturated"`
+}
+
+// kernelDemand is the per-warp traffic demand derived from the kernel
+// parameters: how much NoC traffic one issued instruction implies.
+type kernelDemand struct {
+	instrPerMem  float64 // issue slots per memory instruction (compute + the mem instr)
+	txnPerMem    float64 // coalesced transactions per memory instruction
+	loadMissFrac float64 // fraction of transactions that are L1-miss loads
+	storeFrac    float64 // fraction of transactions that are (write-through) stores
+	l2Hit        float64 // L2 hit probability of NoC-bound reads
+	pBlock       float64 // probability a memory instruction blocks its warp
+}
+
+// demand derives the traffic parameters of a kernel under the model's
+// cache geometry.
+func (m *Model) demand(k trace.Kernel) kernelDemand {
+	var d kernelDemand
+	d.instrPerMem = k.ComputePerMem + 1
+
+	// The generator emits 1 + Geometric(CoalesceMean-1) transactions capped
+	// at 4; approximate the mean by the (clamped) parameter.
+	d.txnPerMem = math.Min(math.Max(k.CoalesceMean, 1), 4)
+
+	// L1 behaviour: the warp-private hot set hits while it fits in L1; the
+	// shared and streaming regions are far larger than L1 and always miss.
+	l1Lines := float64(m.cfg.Core.L1.SizeBytes / m.cfg.Core.L1.LineBytes)
+	hotHit := 1.0
+	if hl := float64(k.HotLines); hl > l1Lines {
+		hotHit = l1Lines / hl
+	}
+	pL1Hit := k.Locality * hotHit
+
+	readFrac := k.ReadFrac
+	d.storeFrac = 1 - readFrac // write-through: every store reaches the NoC
+	d.loadMissFrac = readFrac * (1 - pL1Hit)
+
+	// L2 behaviour of NoC-bound reads: the shared region is L2-resident
+	// while it fits across the MCs' banks; the streaming region never hits.
+	nonLocal := 1 - k.Locality
+	var sharedShare float64
+	if nonLocal > 0 {
+		sharedShare = k.L2Frac
+	}
+	l2Lines := float64(m.cfg.MC.L2.SizeBytes/m.cfg.MC.L2.LineBytes) * float64(m.nMC)
+	sharedHit := 1.0
+	if sl := float64(k.SharedLines); sl > l2Lines {
+		sharedHit = l2Lines / sl
+	}
+	d.l2Hit = sharedShare * sharedHit
+
+	// A memory instruction blocks its warp when it contains at least one
+	// missing load.
+	d.pBlock = math.Min(1, d.txnPerMem*d.loadMissFrac)
+	return d
+}
+
+// bisectIters bounds the closed-loop bisection; 48 halvings of [0,1] reach
+// float precision with margin.
+const bisectIters = 48
+
+// Estimate runs the closed-loop model for one workload: warps alternate
+// compute segments and memory instructions, block on load-miss round trips,
+// and the round trip itself depends on the injection rate the cores
+// sustain — an interactive queueing network. All traffic rates are linear
+// in the per-core issue rate x, so every throughput resource (LSU, the two
+// networks, the DRAM channels) yields a *static* ceiling on x; only the
+// interactive response-time law and the MSHR occupancy depend on x through
+// the round trip. The implied sustainable rate is non-increasing in x, so
+// the fixed point is a unique crossing found by bisection — no damping, no
+// oscillation near saturation.
+func (m *Model) Estimate(k trace.Kernel) Estimate {
+	d := m.demand(k)
+
+	// Traffic demand per unit issue rate (x = 1), per core per NoC cycle.
+	txnPerX := d.txnPerMem / d.instrPerMem * m.coreClockRatio
+	loadPerX := txnPerX * d.loadMissFrac
+	storePerX := txnPerX * d.storeFrac
+	coresPerMC := float64(m.nCores) / float64(m.nMC)
+
+	// Static capacity ceilings on x: each resource's throughput divided by
+	// the demand one unit of issue rate puts on it.
+	xMax := 1.0
+	ceil := func(capacity, demandPerX float64) {
+		if demandPerX > 0 && capacity/demandPerX < xMax {
+			xMax = capacity / demandPerX
+		}
+	}
+	// LSU: at most LSUWidth transactions per core cycle.
+	ceil(float64(m.cfg.Core.LSUWidth), d.txnPerMem/d.instrPerMem)
+	// Reply network: flits per MC per cycle through the narrowest stage.
+	repFlitsPerX := (loadPerX*float64(m.repLong) + storePerX*float64(m.repShort)) * coresPerMC
+	ceil(m.replyFlitCapacity(), repFlitsPerX)
+	// Request network: flits per core per cycle.
+	reqFlitsPerX := loadPerX*float64(m.reqShort) + storePerX*float64(m.reqLong)
+	ceil(m.requestFlitCapacity(), reqFlitsPerX)
+	// DRAM: L2-missing lines per MC per cycle through the channel.
+	ceil(m.dramChanRate, (loadPerX+storePerX)*coresPerMC*(1-d.l2Hit))
+
+	// point evaluates the model at issue rate x and returns the estimate
+	// plus the issue rate that round trip implies the cores can sustain.
+	point := func(x float64) (Estimate, float64) {
+		loadRate := x * loadPerX
+		storeRate := x * storePerX
+
+		// Request network: short read requests + long write requests per
+		// core; reply network: long read replies + short write acks per MC.
+		reqMix := classMix{short: loadRate, long: storeRate}
+		repMix := classMix{
+			long:  loadRate * coresPerMC,
+			short: storeRate * coresPerMC,
+		}
+
+		reqLat := m.requestLatency(reqMix)
+		repLat := m.replyLatency(repMix)
+		perMCReq := (loadRate + storeRate) * coresPerMC
+		mcSvc := m.mcServiceTime(d.l2Hit, perMCReq)
+		rtt := reqLat + mcSvc + repLat
+
+		// Interactive response-time law per core: N warps, each needing
+		// instrPerMem issue slots per cycle of think time, blocked pBlock
+		// of the time for the round trip (in core cycles).
+		rttCore := rtt * m.coreClockRatio
+		n := float64(k.WarpsPerCore)
+		implied := math.Min(xMax, n*d.instrPerMem/(d.instrPerMem+d.pBlock*rttCore))
+
+		// MSHR cap (Little's law): outstanding load misses per core cannot
+		// exceed the MSHR entries.
+		if loadRate > 0 && rtt > 0 {
+			outstanding := loadRate * rtt
+			if limit := float64(m.cfg.Core.MSHREntries); outstanding > limit && x > 0 {
+				implied = math.Min(implied, x*limit/outstanding)
+			}
+		}
+
+		return Estimate{
+			Bench:          k.Name,
+			Scheme:         m.cfg.Scheme.String(),
+			IPC:            x * float64(m.nCores),
+			ReqLatency:     reqLat,
+			RepLatency:     repLat,
+			RoundTrip:      rtt,
+			MCService:      mcSvc,
+			RepInjRate:     repMix.packets(),
+			SaturationRate: m.ReplySaturationRate(),
+		}, implied
+	}
+
+	// The implied rate is non-increasing in x while the identity is
+	// increasing, so the self-consistent operating point is the unique
+	// crossing. If even full demand is sustainable, x = xMax.
+	x := xMax
+	if _, implied := point(x); implied < x {
+		lo, hi := 0.0, x
+		for i := 0; i < bisectIters; i++ {
+			mid := 0.5 * (lo + hi)
+			if _, imp := point(mid); imp > mid {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		x = 0.5 * (lo + hi)
+	}
+	est, _ := point(x)
+	est.Saturated = x*repFlitsPerX >= 0.95*m.replyFlitCapacity()
+	return est
+}
+
+// EstimateSuite answers the full-workload-suite latency query for one
+// configuration: one Estimate per suite kernel, in suite order. This is the
+// microsecond fast path the serving layer and `arisim -estimate` use.
+func EstimateSuite(cfg core.Config) ([]Estimate, error) {
+	m, err := NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	suite := trace.Suite()
+	out := make([]Estimate, len(suite))
+	for i, k := range suite {
+		out[i] = m.Estimate(k)
+	}
+	return out, nil
+}
+
+// EstimateOne answers one (config, benchmark) estimate-mode query.
+func EstimateOne(cfg core.Config, k trace.Kernel) (Estimate, error) {
+	m, err := NewModel(cfg)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return m.Estimate(k), nil
+}

@@ -1,0 +1,130 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// monotoneTol absorbs float rounding when comparing adjacent curve points.
+const monotoneTol = 1e-9
+
+// checkLatencyMonotone sweeps both open-loop latency curves from zero load
+// through 1.2x saturation and fails if either ever decreases. Up to
+// saturation this is the queueing-theory property; past it the bounded
+// waits keep the curves flat rather than falling — non-decreasing
+// throughout.
+func checkLatencyMonotone(t *testing.T, m *Model, label string) {
+	t.Helper()
+	const steps = 30
+	repSat := m.ReplySaturationRate()
+	reqSat := m.requestFlitCapacity() // all-short requests: 1 flit per packet
+	prevRep, prevReq := math.Inf(-1), math.Inf(-1)
+	for i := 0; i <= steps; i++ {
+		frac := 1.2 * float64(i) / steps
+		rep := m.ReplyLatencyAt(frac * repSat)
+		req := m.RequestLatencyAt(frac * reqSat)
+		for name, v := range map[string]float64{"reply": rep, "request": req} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("%s: %s latency at %.0f%% saturation is %v", label, name, 100*frac, v)
+			}
+		}
+		if rep < prevRep-monotoneTol*(1+math.Abs(prevRep)) {
+			t.Errorf("%s: reply latency decreased at %.0f%% saturation: %v -> %v",
+				label, 100*frac, prevRep, rep)
+		}
+		if req < prevReq-monotoneTol*(1+math.Abs(prevReq)) {
+			t.Errorf("%s: request latency decreased at %.0f%% saturation: %v -> %v",
+				label, 100*frac, prevReq, req)
+		}
+		prevRep, prevReq = rep, req
+	}
+}
+
+// TestLatencyMonotoneInLoad locks the first estimator property on the three
+// validated schemes at Table I geometry: latency never decreases as
+// injection rate grows.
+func TestLatencyMonotoneInLoad(t *testing.T) {
+	for _, s := range ValidationSchemes() {
+		cfg := core.DefaultConfig()
+		cfg.Scheme = s
+		m, err := NewModel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLatencyMonotone(t, m, s.String())
+	}
+}
+
+// TestSaturationMonotoneInLinkBandwidth locks the second property: widening
+// the reply links (fewer flits per packet) never lowers the saturation
+// throughput, on all three schemes.
+func TestSaturationMonotoneInLinkBandwidth(t *testing.T) {
+	widths := []int{32, 64, 128, 256, 512}
+	for _, s := range ValidationSchemes() {
+		prev := math.Inf(-1)
+		for _, bits := range widths {
+			cfg := core.DefaultConfig()
+			cfg.Scheme = s
+			cfg.RepLinkBits = bits
+			m, err := NewModel(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sat := m.ReplySaturationRate()
+			if sat <= 0 || math.IsInf(sat, 0) || math.IsNaN(sat) {
+				t.Fatalf("%s/%db: saturation %v", s, bits, sat)
+			}
+			if sat < prev-monotoneTol {
+				t.Errorf("%s: saturation dropped from %v to %v when links widened to %d bits",
+					s, prev, sat, bits)
+			}
+			prev = sat
+		}
+	}
+}
+
+// FuzzEstimatorProperties fuzzes the model's configuration space (mesh
+// geometry, MC count, VCs, link width, speedup, scheme) and asserts both
+// properties hold everywhere the model accepts the config: latency curves
+// monotone in load, saturation monotone in link bandwidth.
+func FuzzEstimatorProperties(f *testing.F) {
+	for i, s := range ValidationSchemes() {
+		f.Add(6, 6, 8, 4, 128, 4, int(s))
+		f.Add(4+i, 4, 4, 2, 64, 2, int(s))
+	}
+	f.Add(8, 8, 8, 8, 256, 3, int(core.XYARI))
+	f.Add(3, 9, 5, 1, 32, 1, int(core.AccSupply))
+
+	f.Fuzz(func(t *testing.T, w, h, mc, vcs, repBits, speedup, scheme int) {
+		cfg := core.DefaultConfig()
+		cfg.MeshWidth, cfg.MeshHeight = w, h
+		cfg.NumMC = mc
+		cfg.VCs = vcs
+		cfg.RepLinkBits = repBits
+		cfg.InjSpeedup = speedup
+		cfg.Scheme = core.Scheme(scheme)
+		// Geometry the simulator itself would reject is out of scope; the
+		// model only has to refuse it cleanly (no panic) — the noc packet
+		// sizing needs positive link width and a sane VC count.
+		if repBits <= 0 || repBits > 4096 || vcs <= 0 || vcs > 64 {
+			return
+		}
+		m, err := NewModel(cfg)
+		if err != nil {
+			return
+		}
+		checkLatencyMonotone(t, m, cfg.Scheme.String())
+
+		wide := cfg
+		wide.RepLinkBits *= 2
+		if mw, err := NewModel(wide); err == nil {
+			if mw.ReplySaturationRate() < m.ReplySaturationRate()-monotoneTol {
+				t.Errorf("%s: doubling RepLinkBits %d->%d dropped saturation %v -> %v",
+					cfg.Scheme, cfg.RepLinkBits, wide.RepLinkBits,
+					m.ReplySaturationRate(), mw.ReplySaturationRate())
+			}
+		}
+	})
+}

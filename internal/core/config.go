@@ -97,6 +97,26 @@ func (s Scheme) Routing() noc.RoutingAlgo {
 // usesOverlay reports whether the reply fabric is the DA2mesh overlay.
 func (s Scheme) usesOverlay() bool { return s == DA2MeshBase || s == DA2MeshARI }
 
+// UsesOverlay reports whether the reply fabric is the DA2mesh overlay. It is
+// the exported face of the scheme seam for layers that model rather than
+// build the system (internal/analytic).
+func (s Scheme) UsesOverlay() bool { return s.usesOverlay() }
+
+// HasSplitNI reports whether the scheme accelerates injection supply with
+// ARI's per-VC split NI queues.
+func (s Scheme) HasSplitNI() bool { return s.hasSplitNI() }
+
+// HasSpeedup reports whether the scheme accelerates injection consumption
+// with crossbar speedup (§4.2).
+func (s Scheme) HasSpeedup() bool { return s.hasSpeedup() }
+
+// HasPriority reports whether the scheme uses ARI's multi-level injection
+// prioritisation (§5).
+func (s Scheme) HasPriority() bool { return s.hasPriority() }
+
+// IsMultiPort reports whether the scheme is the MultiPort baseline [3].
+func (s Scheme) IsMultiPort() bool { return s.isMultiPort() }
+
 // hasSplitNI reports whether the scheme accelerates injection supply.
 func (s Scheme) hasSplitNI() bool {
 	switch s {

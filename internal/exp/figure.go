@@ -80,6 +80,7 @@ func Registry() []struct {
 		{"placement", PlacementAblation},
 		{"stability", SeedStability},
 		{"loadlat", LoadLatency},
+		{"analytic", AnalyticComparison},
 	}
 }
 

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// mustScheme resolves a scheme label or fails the test.
+func mustScheme(t *testing.T, name string) core.Scheme {
+	t.Helper()
+	s, err := core.ParseScheme(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEstimateModeUncachedAndCached is the estimate-mode smoke test: an
+// uncached estimate query answers instantly from the model without running
+// (or queueing) a simulation; once the exact result is in the store, the
+// same estimate query returns it instead — exact beats estimate.
+func TestEstimateModeUncachedAndCached(t *testing.T) {
+	r := tinyRunner(t)
+	s, ts := newTestServer(t, Config{Runner: r})
+
+	// Uncached: the model answers, no simulation runs.
+	resp := post(t, ts.URL, `{"bench":"bfs","scheme":"Ada-ARI","estimate":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	est := decodeJob(t, resp)
+	if !est.Estimated || est.Estimate == nil {
+		t.Fatalf("estimate-mode response not estimated: %+v", est)
+	}
+	if est.Cached {
+		t.Fatal("uncached estimate reported cached")
+	}
+	if est.Estimate.Bench != "bfs" || est.Estimate.Scheme != "Ada-ARI" {
+		t.Fatalf("estimate identity = %s/%s", est.Estimate.Bench, est.Estimate.Scheme)
+	}
+	if est.Estimate.IPC <= 0 || est.Estimate.RepLatency <= 0 {
+		t.Fatalf("implausible estimate: %+v", est.Estimate)
+	}
+	if r.Runs() != 0 {
+		t.Fatalf("estimate ran %d simulations, want 0", r.Runs())
+	}
+
+	// The model's answer must agree with calling it directly.
+	cfg := r.Base
+	cfg.Scheme = mustScheme(t, "Ada-ARI")
+	kernel := r.Benchmarks[0] // bfs
+	want, err := analytic.EstimateOne(cfg, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*est.Estimate, want) {
+		t.Fatalf("served estimate %+v differs from direct EstimateOne %+v", est.Estimate, want)
+	}
+
+	// Escalate: the real simulation under the same key.
+	full := decodeJob(t, post(t, ts.URL, `{"bench":"bfs","scheme":"Ada-ARI"}`))
+	if full.Estimated || full.Key != est.Key {
+		t.Fatalf("escalated run key %q estimated=%v, want key %q and a real result",
+			full.Key, full.Estimated, est.Key)
+	}
+
+	// Cached: the same estimate query now returns the exact result.
+	again := decodeJob(t, post(t, ts.URL, `{"bench":"bfs","scheme":"Ada-ARI","estimate":true}`))
+	if !again.Cached || again.Estimated {
+		t.Fatalf("post-escalation estimate query: cached=%v estimated=%v, want exact cache hit",
+			again.Cached, again.Estimated)
+	}
+	if !reflect.DeepEqual(again.Result, full.Result) {
+		t.Fatal("cached exact result differs from the escalated run")
+	}
+
+	st := s.Stats()
+	if st.Estimated != 1 || st.Completed != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 1 estimated / 1 completed / 1 cache hit", st)
+	}
+}
+
+// TestEstimateEscalationMatchesDirectRun locks the escalation contract:
+// estimate first, then escalate to a full simulation — the escalated result
+// must be byte-identical to a direct run of the same (config, benchmark) on
+// a fresh runner, estimate mode having perturbed nothing.
+func TestEstimateEscalationMatchesDirectRun(t *testing.T) {
+	r := tinyRunner(t)
+	_, ts := newTestServer(t, Config{Runner: r})
+
+	if resp := post(t, ts.URL, `{"bench":"b+tree","scheme":"XY-Baseline","estimate":true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status = %v", resp.Status)
+	} else {
+		resp.Body.Close()
+	}
+	escalated := decodeJob(t, post(t, ts.URL, `{"bench":"b+tree","scheme":"XY-Baseline"}`))
+
+	direct := tinyRunner(t)
+	cfg := direct.Base
+	cfg.Scheme = mustScheme(t, "XY-Baseline")
+	kernel, err := trace.ByName("b+tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Run(cfg, kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(escalated.Result)
+	ref, _ := json.Marshal(want)
+	if string(got) != string(ref) {
+		t.Fatalf("escalated result diverged from direct run:\n%s\nvs\n%s", got, ref)
+	}
+}
+
+// TestEstimateModeRejectsUnmodelledScheme maps a model-refused config onto
+// a 400, not a 500 or a queued simulation.
+func TestEstimateModeRejectsUnmodelledScheme(t *testing.T) {
+	r := tinyRunner(t)
+	_, ts := newTestServer(t, Config{Runner: r})
+	resp := post(t, ts.URL, `{"bench":"bfs","scheme":"DA2Mesh","estimate":true}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %v, want 400", resp.Status)
+	}
+	if r.Runs() != 0 {
+		t.Fatalf("rejected estimate ran %d simulations", r.Runs())
+	}
+}
+
+// TestEstimateServedWhileDraining: estimates take no queue slot, so a
+// draining server still answers them.
+func TestEstimateServedWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	resp := post(t, ts.URL, `{"bench":"bfs","scheme":"Ada-ARI","estimate":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining server refused an estimate: %v", resp.Status)
+	}
+	out := decodeJob(t, resp)
+	if !out.Estimated {
+		t.Fatalf("draining server answered %+v, want an estimate", out)
+	}
+}

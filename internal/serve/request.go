@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/trace"
@@ -34,6 +35,13 @@ type JobRequest struct {
 	// the request context into the run's watchdog interrupt, so an expired
 	// job is cancelled, not orphaned.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// Estimate answers from the analytical model (internal/analytic) in
+	// microseconds instead of scheduling a simulation: no queue slot, no
+	// shedding, no journal write. If the exact result is already in the
+	// store it wins over the model. Escalation to a real simulation is a
+	// resubmission with Estimate unset — idempotent under the same JobKey.
+	Estimate bool `json:"estimate,omitempty"`
 }
 
 // Timeout returns the request deadline as a duration (0 = none).
@@ -52,6 +60,12 @@ type JobResponse struct {
 	// without running a simulation.
 	Cached bool        `json:"cached"`
 	Result core.Result `json:"result"`
+
+	// Estimated reports that Result is empty and Estimate holds the
+	// analytical model's answer instead (estimate-mode requests only; a
+	// store hit answers with the exact Result even in estimate mode).
+	Estimated bool               `json:"estimated,omitempty"`
+	Estimate  *analytic.Estimate `json:"estimate,omitempty"`
 }
 
 // errorResponse is the body of every non-200 reply.

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analytic"
 	"repro/internal/exp"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -73,6 +74,9 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	// CacheHits counts submissions answered from the cache or journal.
 	CacheHits int64 `json:"cache_hits"`
+	// Estimated counts submissions answered by the analytical model
+	// (estimate-mode requests that missed the store).
+	Estimated int64 `json:"estimated"`
 	// Shed counts submissions rejected with 429 because the queue was full.
 	Shed int64 `json:"shed"`
 	// Draining reports that admission is closed.
@@ -107,6 +111,7 @@ type Server struct {
 	ewma      time.Duration
 	completed int64
 	cacheHits int64
+	estimated int64
 	shed      int64
 	inflight  sync.WaitGroup
 }
@@ -237,6 +242,7 @@ func (s *Server) Stats() Stats {
 		Admitted:      len(s.queue),
 		Completed:     s.completed,
 		CacheHits:     s.cacheHits,
+		Estimated:     s.estimated,
 		Shed:          s.shed,
 		Draining:      s.draining,
 		ServiceTimeMs: float64(s.ewma) / float64(time.Millisecond),
@@ -284,6 +290,24 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.cacheHits++
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Result: res})
+		return
+	}
+
+	// Estimate mode: answer from the analytical model in microseconds —
+	// no queue slot, so estimates are never shed and work even while
+	// draining. The client escalates to a real simulation by resubmitting
+	// without Estimate; the JobKey stays the same, so the escalated run
+	// lands in the journal and later estimate-mode lookups return it exact.
+	if q.Estimate {
+		est, err := analytic.EstimateOne(job.Cfg, job.Kernel)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "estimate: " + err.Error()})
+			return
+		}
+		s.mu.Lock()
+		s.estimated++
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, JobResponse{Key: key, Estimated: true, Estimate: &est})
 		return
 	}
 
