@@ -3,7 +3,7 @@ DATE := $(shell date +%Y%m%d)
 # their base date).
 BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check test bench benchdiff validate-analytic fuzz soak loadtest obs profile
+.PHONY: check test bench benchdiff validate-analytic fuzz soak chaos loadtest obs profile
 
 # check is the full gate: build everything, vet, and run all tests with the
 # race detector (covers the equivalence, golden, property, and race suites).
@@ -51,6 +51,17 @@ validate-analytic:
 soak:
 	go test -race -count=1 ./internal/fault
 	go test -race -count=1 ./internal/core -run 'Watchdog|Fault|RunChecked|Truncated'
+
+# chaos runs the layered fault-recovery soaks under -race (DESIGN.md §13):
+# every stall kind combined with flit-corruption bursts and permanent link
+# deaths, checking zero undetected corruption (every corrupted packet is
+# CRC-caught, NACKed and retransmitted), serial-vs-sharded byte-identity of
+# the recovering fabric, and the ariserve kill/restart soak with chaos
+# faults active — byte-identical results across the restart with no
+# completed job re-executed.
+chaos:
+	go test -race -count=1 ./internal/fault -run 'Chaos'
+	go test -race -count=1 ./internal/serve -run 'ChaosKillRestart' -timeout 10m
 
 # loadtest runs the serving robustness suites under -race: overload (shed
 # requests answer 429 + Retry-After and the retrying client still completes

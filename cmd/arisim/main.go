@@ -11,6 +11,10 @@
 // With -estimate, the analytical model (internal/analytic, DESIGN.md §12)
 // answers in microseconds instead of running the simulation.
 //
+// Fault injection (DESIGN.md §13): -corrupt-prob and -link-death enable
+// seeded flit corruption (recovered by CRC + NACK retransmission) and
+// permanent link deaths (detoured by fault-adaptive routing).
+//
 // Observability (DESIGN.md §10):
 //
 //	arisim -bench bfs -obs-interval 100 -obs-out metrics.csv   # per-interval time series
@@ -55,8 +59,11 @@ func main() {
 		confFile  = flag.String("config", "", "load the base configuration from a JSON file (flags still override)")
 		dumpConf  = flag.Bool("dumpconfig", false, "print the effective configuration as JSON and exit")
 		work      = flag.Uint64("work", 0, "fixed-work mode: measure until this many warp-instructions retire (0 = fixed horizon)")
-		heatmap   = flag.Bool("heatmap", false, "print per-node reply-network link/injection utilisation grids")
-		estimate  = flag.Bool("estimate", false, "answer from the analytical model (internal/analytic) instead of simulating; microseconds instead of seconds")
+
+		corruptProb = flag.Float64("corrupt-prob", 0, "per-cycle probability of a flit-corruption burst; > 0 enables fault injection and the NoC recovery layer (CRC + NACK retransmission)")
+		linkDeath   = flag.Float64("link-death", 0, "per-cycle probability of a permanent link death; > 0 enables fault injection with fault-adaptive routing around dead links")
+		heatmap     = flag.Bool("heatmap", false, "print per-node reply-network link/injection utilisation grids")
+		estimate    = flag.Bool("estimate", false, "answer from the analytical model (internal/analytic) instead of simulating; microseconds instead of seconds")
 
 		obsInterval = flag.Int64("obs-interval", 0, "metrics sampling interval in NoC cycles (0 = observability off)")
 		obsOut      = flag.String("obs-out", "", "write the sampled metric time series as CSV to this file (requires -obs-interval)")
@@ -117,6 +124,18 @@ func main() {
 	override("shards", func() { cfg.Shards = *shards })
 	override("warmup", func() { cfg.WarmupCycles = *warmup })
 	override("cycles", func() { cfg.MeasureCycles = *cycles })
+	override("corrupt-prob", func() {
+		if *corruptProb > 0 {
+			cfg.Fault.Enabled = true
+			cfg.Fault.CorruptProb = *corruptProb
+		}
+	})
+	override("link-death", func() {
+		if *linkDeath > 0 {
+			cfg.Fault.Enabled = true
+			cfg.Fault.LinkDeathProb = *linkDeath
+		}
+	})
 
 	if *dumpConf {
 		out, err := json.MarshalIndent(cfg, "", "  ")
@@ -153,7 +172,7 @@ func main() {
 	if *obsInterval > 0 {
 		reg = obs.NewRegistry(*obsInterval)
 		obs.AttachSimulator(reg, sim)
-		reg.Reserve(int((cfg.WarmupCycles+cfg.MeasureCycles)/ *obsInterval) + 2)
+		reg.Reserve(int((cfg.WarmupCycles+cfg.MeasureCycles) / *obsInterval) + 2)
 	}
 	var reqColl, repColl *obs.Collector
 	if *traceSample > 0 {
@@ -427,6 +446,12 @@ func printResult(r core.Result) {
 	fmt.Printf("replies sent     %d\n", r.RepliesSent)
 	fmt.Printf("NI occupancy     %.1f flits avg (cap %d)\n", r.NIOccAvgFlits, r.NIQueueCapFlits)
 	fmt.Printf("L1 hit %.3f  L2 hit %.3f  DRAM row hit %.3f\n", r.L1HitRate, r.L2HitRate, r.DRAMRowHitRate)
+	if r.FaultEvents > 0 || r.Recovery != (noc.RecoveryStats{}) {
+		fmt.Println()
+		fmt.Printf("faults injected  %d (dead links %d)\n", r.FaultEvents, r.Recovery.DeadLinks)
+		fmt.Printf("recovery         %d corrupted pkts dropped+NACKed, %d retransmitted, %d buffer-full rejects\n",
+			r.Recovery.CorruptPackets, r.Recovery.RetransPackets, r.Recovery.RetransBufFullRejects)
+	}
 }
 
 // flitShareBoth computes a packet type's share of flits across the two

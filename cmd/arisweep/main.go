@@ -67,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		obsInterval = fs.Int64("obs-interval", 0, "metrics sampling interval in NoC cycles for locally-run points (0 = off)")
 		obsDir      = fs.String("obs-dir", ".", "directory for per-point metric CSVs (metrics_<label>.csv)")
+
+		corruptProb = fs.Float64("corrupt-prob", 0, "per-cycle flit-corruption burst probability applied to every point; > 0 enables fault injection and the NoC recovery layer")
+		linkDeath   = fs.Float64("link-death", 0, "per-cycle permanent link-death probability applied to every point; > 0 enables fault injection with fault-adaptive routing")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +96,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	base.MeasureCycles = *cycles
 	base.Seed = *seed
 	base.Shards = *shards
+	if *corruptProb < 0 || *corruptProb > 1 || *linkDeath < 0 || *linkDeath > 1 {
+		return fmt.Errorf("-corrupt-prob and -link-death must be in [0,1]")
+	}
+	if *corruptProb > 0 || *linkDeath > 0 {
+		base.Fault.Enabled = true
+		base.Fault.CorruptProb = *corruptProb
+		base.Fault.LinkDeathProb = *linkDeath
+	}
 
 	// Report the effective parallelism of the sweep (concurrent runs x
 	// per-run shards) and clamp it to the host instead of silently
@@ -209,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			runner.Instrument = func(sim *core.Simulator) {
 				obsReg = obs.NewRegistry(*obsInterval)
 				obs.AttachSimulator(obsReg, sim)
-				obsReg.Reserve(int((base.WarmupCycles+base.MeasureCycles)/ *obsInterval) + 2)
+				obsReg.Reserve(int((base.WarmupCycles+base.MeasureCycles) / *obsInterval) + 2)
 			}
 		}
 		runPoint = func(cfg core.Config) (core.Result, error) {

@@ -188,6 +188,14 @@ type Config struct {
 	NIQueueFlits int
 	EjectRate    int
 
+	// RetransBufPkts enables the NoC fault-recovery protocol layer (CRC
+	// detection, NACK/ACK sideband, bounded retransmission — noc/recovery.go)
+	// on both mesh networks, sized to this many unacknowledged packets per
+	// NI. 0 leaves recovery off unless Fault.CorruptProb > 0, in which case
+	// it defaults to 8 — corruption without recovery would deliver silently
+	// wrong packets, which the fault injector refuses.
+	RetransBufPkts int
+
 	Core gpu.Config
 	MC   mem.MCConfig
 
@@ -283,6 +291,9 @@ func (c Config) Validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("core: Shards %d must be >= 0", c.Shards)
+	}
+	if c.RetransBufPkts < 0 {
+		return fmt.Errorf("core: RetransBufPkts %d must be >= 0", c.RetransBufPkts)
 	}
 	if c.Fault.Enabled {
 		if _, err := c.Fault.Validate(); err != nil {

@@ -36,12 +36,21 @@ type Result struct {
 	Truncated bool
 
 	// FaultEvents counts injected NoC faults when fault injection was
-	// enabled (request + reply side).
+	// enabled (request + reply side). Counted by the injectors' totals, so
+	// the figure is exact even when the retained event log hits the
+	// fault.Config.MaxEvents cap.
 	FaultEvents int
 
 	// Networks (copies of the per-fabric stats).
 	Req noc.NetStats
 	Rep noc.NetStats
+
+	// Recovery sums the fault-recovery protocol counters over both networks
+	// (zero when recovery is off). NacksSent == CorruptPackets always (every
+	// detected drop is NACKed on the spot); RetransPackets may trail
+	// CorruptPackets by the recoveries still in flight when the fixed
+	// measurement horizon ended the run.
+	Recovery noc.RecoveryStats
 
 	// Memory-side.
 	MCStallTime     int64 // summed reply-data stall cycles (Fig 12)
@@ -106,12 +115,13 @@ func (s *Simulator) collect() Result {
 
 	r.Req = *s.reqNet.Stats()
 	r.Rep = *s.repNet.Stats()
+	r.Recovery = s.RecoveryStats()
 
 	if s.reqFault != nil {
-		r.FaultEvents += len(s.reqFault.Events())
+		r.FaultEvents += int(s.reqFault.TotalEvents())
 	}
 	if s.repFault != nil {
-		r.FaultEvents += len(s.repFault.Events())
+		r.FaultEvents += int(s.repFault.TotalEvents())
 	}
 
 	switch rep := s.repNet.(type) {

@@ -209,6 +209,28 @@ func (s *Simulator) stepNodeShard(i int) {
 // Shards returns the effective shard count (1 when stepping serially).
 func (s *Simulator) Shards() int { return s.shards }
 
+// RecoveryStats returns the fault-recovery protocol counters summed over the
+// request network and, when it is a mesh, the reply network. Zero when
+// recovery is disabled (Config.RetransBufPkts 0 and no corrupting faults).
+func (s *Simulator) RecoveryStats() noc.RecoveryStats {
+	var agg noc.RecoveryStats
+	add := func(r noc.RecoveryStats) {
+		agg.CorruptFlits += r.CorruptFlits
+		agg.CorruptPackets += r.CorruptPackets
+		agg.NacksSent += r.NacksSent
+		agg.AcksSent += r.AcksSent
+		agg.RetransPackets += r.RetransPackets
+		agg.RetransFlits += r.RetransFlits
+		agg.RetransBufFullRejects += r.RetransBufFullRejects
+		agg.DeadLinks += r.DeadLinks
+	}
+	add(s.reqNet.RecoveryStats())
+	if rep, ok := s.repNet.(*noc.Network); ok {
+		add(rep.RecoveryStats())
+	}
+	return agg
+}
+
 // Close releases the worker pool behind sharded stepping. Serial simulators
 // hold no resources, so Close is a no-op for them; it is idempotent and the
 // simulator must not be stepped afterwards.
@@ -252,17 +274,26 @@ func (s *Simulator) buildNetworks() error {
 	cfg := s.cfg
 	routing := cfg.Scheme.Routing()
 
+	// Recovery protocol sizing: corruption without a retransmission buffer
+	// would mean silently wrong deliveries, so a corrupting fault schedule
+	// turns recovery on by default (Config.RetransBufPkts documents this).
+	retrans := cfg.RetransBufPkts
+	if retrans == 0 && cfg.Fault.Enabled && cfg.Fault.CorruptProb > 0 {
+		retrans = 8
+	}
+
 	// Request network: never modified by any scheme (§4.2, §6.1).
 	reqCfg := noc.Config{
-		Mesh:        s.mesh,
-		VCs:         cfg.VCs,
-		LinkBits:    cfg.ReqLinkBits,
-		DataBytes:   cfg.DataBytes,
-		Routing:     routing,
-		NonAtomicVC: true,
-		EjectRate:   cfg.EjectRate,
-		ScanStep:    cfg.ScanStep,
-		CheckEvery:  cfg.NoCCheckEvery,
+		Mesh:           s.mesh,
+		VCs:            cfg.VCs,
+		LinkBits:       cfg.ReqLinkBits,
+		DataBytes:      cfg.DataBytes,
+		Routing:        routing,
+		NonAtomicVC:    true,
+		EjectRate:      cfg.EjectRate,
+		RetransBufPkts: retrans,
+		ScanStep:       cfg.ScanStep,
+		CheckEvery:     cfg.NoCCheckEvery,
 	}
 	reqNet, err := noc.NewNetwork(reqCfg)
 	if err != nil {
@@ -272,16 +303,17 @@ func (s *Simulator) buildNetworks() error {
 
 	// Reply network: per-MC-node injection architecture by scheme.
 	repCfg := noc.Config{
-		Mesh:         s.mesh,
-		VCs:          cfg.VCs,
-		LinkBits:     cfg.RepLinkBits,
-		DataBytes:    cfg.DataBytes,
-		Routing:      routing,
-		NonAtomicVC:  true,
-		NIQueueFlits: cfg.NIQueueFlits,
-		EjectRate:    cfg.EjectRate,
-		ScanStep:     cfg.ScanStep,
-		CheckEvery:   cfg.NoCCheckEvery,
+		Mesh:           s.mesh,
+		VCs:            cfg.VCs,
+		LinkBits:       cfg.RepLinkBits,
+		DataBytes:      cfg.DataBytes,
+		Routing:        routing,
+		NonAtomicVC:    true,
+		NIQueueFlits:   cfg.NIQueueFlits,
+		EjectRate:      cfg.EjectRate,
+		RetransBufPkts: retrans,
+		ScanStep:       cfg.ScanStep,
+		CheckEvery:     cfg.NoCCheckEvery,
 	}
 	if cfg.Scheme.hasPriority() {
 		repCfg.PriorityLevels = cfg.PriorityLevels
@@ -312,12 +344,17 @@ func (s *Simulator) buildNetworks() error {
 
 	switch {
 	case cfg.IdealReply:
+		// The ideal fabric and the DA2mesh overlay never see corruption
+		// (fault injectors attach to mesh Networks only), so the recovery
+		// layer would only perturb their timing — leave it off.
+		repCfg.RetransBufPkts = 0
 		rep, err := noc.NewIdealFabric(repCfg)
 		if err != nil {
 			return fmt.Errorf("core: ideal reply fabric: %w", err)
 		}
 		s.repNet = rep
 	case cfg.Scheme.usesOverlay():
+		repCfg.RetransBufPkts = 0
 		rep, err := noc.NewDA2Mesh(repCfg)
 		if err != nil {
 			return fmt.Errorf("core: reply overlay: %w", err)

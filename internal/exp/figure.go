@@ -79,6 +79,7 @@ func Registry() []struct {
 		{"area", AreaOverhead},
 		{"placement", PlacementAblation},
 		{"stability", SeedStability},
+		{"fault", FaultFigure},
 		{"loadlat", LoadLatency},
 		{"analytic", AnalyticComparison},
 	}

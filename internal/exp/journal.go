@@ -16,7 +16,7 @@ import (
 // journalVersion is bumped whenever the serialised Result or the key schema
 // changes shape; entries from another version are ignored on load so a
 // stale journal can never smuggle incompatible results into a sweep.
-const journalVersion = 1
+const journalVersion = 2
 
 // journalEntry is one completed run, one JSON object per line (JSONL).
 type journalEntry struct {

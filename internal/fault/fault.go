@@ -1,18 +1,29 @@
 // Package fault is deterministic, seeded fault injection for the NoC. It
-// models three transient hardware fault classes as bounded service stalls on
-// a *noc.Network:
+// models five hardware fault classes on a *noc.Network:
 //
 //   - link stalls: a router output link (mesh or ejection) grants nothing
 //     for a bounded window (noc.Network.StallLink);
 //   - input-port freezes: a router input port's VCs stop bidding for the
 //     switch (noc.Network.FreezeInputPort);
 //   - NI backpressure bursts: a node's NI supplies no flits, backing its
-//     queues up into the node logic (noc.Network.StallNISupply).
+//     queues up into the node logic (noc.Network.StallNISupply);
+//   - flit corruption bursts: every flit crossing one output link inside a
+//     bounded window is damaged in transit (noc.Network.CorruptLink); the
+//     NI-side recovery protocol (noc recovery layer) must detect each
+//     damaged packet by checksum, NACK it, and retransmit — so corruption
+//     requires the network's retransmission buffers to be enabled;
+//   - permanent link death: one mesh link stops forwarding forever
+//     (noc.Network.KillLink), and fault-adaptive routing must detour
+//     around it. Kills that would disconnect the mesh are refused by the
+//     network's connectivity guard; the injector simply records nothing
+//     for a refused kill, keeping the draw stream aligned.
 //
-// Every fault is a pure service stall — buffers, credits and ownership are
-// never touched — so credit-based wormhole flow control must absorb it with
-// zero flit loss and noc.CheckInvariants clean at every boundary; the soak
-// tests in this package pin exactly that. All randomness flows through
+// The first three are pure service stalls — buffers, credits and ownership
+// are never touched — so credit-based wormhole flow control must absorb
+// them with zero flit loss. The last two are recovered by protocol: the
+// soak suites in this package pin zero *undetected* corruption (every
+// packet delivered exactly once, checksum intact) and clean
+// noc.CheckInvariants at every boundary. All randomness flows through
 // internal/rng, so a (Config, seed) pair replays the identical fault
 // schedule and the simulation stays bit-for-bit reproducible.
 package fault
@@ -34,6 +45,14 @@ const (
 	PortFreeze
 	// NIStall stalls one node's NI supply.
 	NIStall
+	// FlitCorrupt damages every flit crossing one output link for a window.
+	// New kinds append after the original three so a config that leaves
+	// their probabilities at zero consumes exactly the historical draw
+	// stream (rng.Bool(0) draws nothing) and replays legacy schedules
+	// byte-identically.
+	FlitCorrupt
+	// LinkDeath permanently kills one mesh link.
+	LinkDeath
 	numKinds
 )
 
@@ -46,6 +65,10 @@ func (k Kind) String() string {
 		return "port-freeze"
 	case NIStall:
 		return "ni-stall"
+	case FlitCorrupt:
+		return "flit-corrupt"
+	case LinkDeath:
+		return "link-death"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -61,12 +84,29 @@ type Config struct {
 	// fully determined by (Config, Seed).
 	Seed uint64
 
-	// LinkStallProb, PortFreezeProb and NIStallProb are per-cycle
-	// probabilities of starting one fault of that kind somewhere in the
-	// network (one Bernoulli draw per kind per cycle, not per component).
+	// LinkStallProb, PortFreezeProb, NIStallProb, CorruptProb and
+	// LinkDeathProb are per-cycle probabilities of starting one fault of
+	// that kind somewhere in the network (one Bernoulli draw per kind per
+	// cycle, not per component).
 	LinkStallProb  float64
 	PortFreezeProb float64
 	NIStallProb    float64
+	// CorruptProb > 0 requires the network's fault-recovery layer
+	// (noc.Config.RetransBufPkts > 0): corruption without checksum
+	// detection and retransmission would be silent data loss, and
+	// NewInjector rejects that combination.
+	CorruptProb   float64
+	LinkDeathProb float64
+
+	// MaxDeadLinks caps permanent link kills over the whole run (0 = 2).
+	// Once reached, LinkDeath draws stop before consuming site draws, so
+	// the rest of the schedule is unchanged.
+	MaxDeadLinks int
+
+	// MaxEvents caps the retained Events() log (0 = 65536). Beyond the cap
+	// events are injected but not retained; DroppedEvents counts them and
+	// TotalEvents keeps the true injected count.
+	MaxEvents int
 
 	// MinDuration and MaxDuration bound each fault's length in cycles
 	// (inclusive). Zero values default to [8, 64].
@@ -81,13 +121,19 @@ type Config struct {
 
 // Validate checks bounds and fills defaults, returning the normalised config.
 func (c Config) Validate() (Config, error) {
-	for _, p := range []float64{c.LinkStallProb, c.PortFreezeProb, c.NIStallProb} {
+	for _, p := range []float64{c.LinkStallProb, c.PortFreezeProb, c.NIStallProb, c.CorruptProb, c.LinkDeathProb} {
 		if p < 0 || p > 1 {
 			return c, fmt.Errorf("fault: probability %v outside [0,1]", p)
 		}
 	}
 	if c.MinDuration < 0 || c.MaxDuration < 0 {
 		return c, fmt.Errorf("fault: negative duration bounds [%d,%d]", c.MinDuration, c.MaxDuration)
+	}
+	if c.MaxDeadLinks < 0 {
+		return c, fmt.Errorf("fault: negative MaxDeadLinks %d", c.MaxDeadLinks)
+	}
+	if c.MaxEvents < 0 {
+		return c, fmt.Errorf("fault: negative MaxEvents %d", c.MaxEvents)
 	}
 	if c.MinDuration == 0 {
 		c.MinDuration = 8
@@ -100,6 +146,12 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = 8
+	}
+	if c.MaxDeadLinks == 0 {
+		c.MaxDeadLinks = 2
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 65536
 	}
 	return c, nil
 }
@@ -119,21 +171,39 @@ func SoakConfig(seed uint64) Config {
 	}
 }
 
+// ChaosConfig returns the chaos-soak configuration: every SoakConfig stall
+// kind layered with frequent flit-corruption bursts and rare permanent
+// link deaths. It requires a network with the recovery layer enabled
+// (noc.Config.RetransBufPkts > 0).
+func ChaosConfig(seed uint64) Config {
+	c := SoakConfig(seed)
+	c.CorruptProb = 0.02
+	c.LinkDeathProb = 0.002
+	c.MaxDeadLinks = 3
+	return c
+}
+
 // Event records one injected fault for replay verification and diagnostics.
 type Event struct {
-	Cycle    int64
-	Kind     Kind
-	Node     int
-	Port     int // output port (LinkStall), input port (PortFreeze), -1 (NIStall)
+	Cycle int64
+	Kind  Kind
+	Node  int
+	Port  int // output port (LinkStall/FlitCorrupt/LinkDeath), input port (PortFreeze), -1 (NIStall)
+	// Duration is the fault window in cycles; -1 marks a permanent fault
+	// (LinkDeath).
 	Duration int
 }
 
 // String renders the event for logs.
 func (e Event) String() string {
-	if e.Port < 0 {
+	switch {
+	case e.Duration < 0:
+		return fmt.Sprintf("cycle %d: %s node %d port %d permanently", e.Cycle, e.Kind, e.Node, e.Port)
+	case e.Port < 0:
 		return fmt.Sprintf("cycle %d: %s node %d for %d cycles", e.Cycle, e.Kind, e.Node, e.Duration)
+	default:
+		return fmt.Sprintf("cycle %d: %s node %d port %d for %d cycles", e.Cycle, e.Kind, e.Node, e.Port, e.Duration)
 	}
-	return fmt.Sprintf("cycle %d: %s node %d port %d for %d cycles", e.Cycle, e.Kind, e.Node, e.Port, e.Duration)
 }
 
 // Injector drives one network's fault schedule. Call Step(now) once per
@@ -145,6 +215,8 @@ type Injector struct {
 	src     *rng.Source
 	nodes   int
 	events  []Event
+	total   uint64  // all injected faults, including ones dropped from events
+	dropped uint64  // events not retained because of cfg.MaxEvents
 	expires []int64 // active-fault expiry cycles (pruned each Step)
 }
 
@@ -154,6 +226,10 @@ func NewInjector(cfg Config, net *noc.Network, streamTag uint64) (*Injector, err
 	cfg, err := cfg.Validate()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Enabled && cfg.CorruptProb > 0 && net.Config().RetransBufPkts <= 0 {
+		return nil, fmt.Errorf("fault: CorruptProb %v needs the recovery layer; set noc.Config.RetransBufPkts > 0",
+			cfg.CorruptProb)
 	}
 	return &Injector{
 		cfg:   cfg,
@@ -189,8 +265,21 @@ func (in *Injector) Step(now int64) {
 			p = in.cfg.PortFreezeProb
 		case NIStall:
 			p = in.cfg.NIStallProb
+		case FlitCorrupt:
+			p = in.cfg.CorruptProb
+		case LinkDeath:
+			p = in.cfg.LinkDeathProb
 		}
 		if !in.src.Bool(p) {
+			continue
+		}
+		if k == LinkDeath {
+			// Permanent faults bypass the transient concurrency ledger and
+			// have their own cap, checked before any site draw so a capped
+			// schedule consumes no extra stream.
+			if in.net.DeadLinks() < in.cfg.MaxDeadLinks {
+				in.applyDeath(now)
+			}
 			continue
 		}
 		if len(in.expires) >= in.cfg.MaxConcurrent {
@@ -215,13 +304,52 @@ func (in *Injector) apply(k Kind, now int64) {
 		in.net.FreezeInputPort(node, port, until)
 	case NIStall:
 		in.net.StallNISupply(node, until)
+	case FlitCorrupt:
+		port = in.src.Intn(noc.NumDirections + 1) // mesh links + ejection link
+		in.net.CorruptLink(node, port, until)
 	}
-	in.events = append(in.events, Event{Cycle: now, Kind: k, Node: node, Port: port, Duration: dur})
+	in.recordEvent(Event{Cycle: now, Kind: k, Node: node, Port: port, Duration: dur})
 	in.expires = append(in.expires, until)
 }
 
-// Events returns the injected-fault log in injection order.
-func (in *Injector) Events() []Event { return in.events }
+// applyDeath draws a kill site and asks the network to kill the link. The
+// network refuses kills with no link or that would disconnect the mesh;
+// a refused kill records nothing but has already consumed its site draws,
+// so the remaining schedule is unaffected by which kills succeed.
+func (in *Injector) applyDeath(now int64) {
+	node := in.src.Intn(in.nodes)
+	port := in.src.Intn(noc.NumDirections) // only mesh links can die
+	if in.net.KillLink(node, port) {
+		in.recordEvent(Event{Cycle: now, Kind: LinkDeath, Node: node, Port: port, Duration: -1})
+	}
+}
+
+// recordEvent retains e up to the MaxEvents cap; injection itself already
+// happened, so past the cap only the log entry is dropped (and counted).
+func (in *Injector) recordEvent(e Event) {
+	in.total++
+	if len(in.events) >= in.cfg.MaxEvents {
+		in.dropped++
+		return
+	}
+	in.events = append(in.events, e)
+}
+
+// Events returns a copy of the injected-fault log in injection order.
+// Callers may retain or mutate the returned slice freely; the injector's
+// own log stays private so later injections can never alias it.
+func (in *Injector) Events() []Event {
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}
+
+// TotalEvents returns the number of faults injected, including any whose
+// log entries were dropped by the MaxEvents cap.
+func (in *Injector) TotalEvents() uint64 { return in.total }
+
+// DroppedEvents returns the number of log entries dropped by MaxEvents.
+func (in *Injector) DroppedEvents() uint64 { return in.dropped }
 
 // Active returns the number of faults still in force at cycle now.
 func (in *Injector) Active(now int64) int {

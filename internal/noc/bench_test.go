@@ -50,6 +50,59 @@ func stepLoaded(b *testing.B, n *Network) {
 func BenchmarkNetworkStepBaseline(b *testing.B) { stepLoaded(b, benchNet(b, false)) }
 func BenchmarkNetworkStepARI(b *testing.B)      { stepLoaded(b, benchNet(b, true)) }
 
+// BenchmarkNetworkStepFaulty prices the recovery protocol layer in the hot
+// stepping path: the ARI network with retransmission buffers on, one dead
+// link (so every route goes through the fault table) and a rolling
+// corruption window that keeps CRC drops, NACK/ACK sideband traffic and
+// retransmissions live throughout. Drives CorruptLink/KillLink directly —
+// internal/fault would be an import cycle from this package.
+func BenchmarkNetworkStepFaulty(b *testing.B) {
+	mesh := Mesh{Width: 6, Height: 6}
+	cfg := Config{
+		Mesh:           mesh,
+		VCs:            4,
+		LinkBits:       128,
+		DataBytes:      128,
+		Routing:        RouteMinAdaptive,
+		NonAtomicVC:    true,
+		RetransBufPkts: 8,
+		PriorityLevels: 2,
+	}
+	cfg.Nodes = make([]NodeConfig, mesh.Nodes())
+	for _, n := range DiamondMCPlacement(mesh, 8) {
+		cfg.Nodes[n] = NodeConfig{NI: NISplit, InjSpeedup: 4}
+	}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetEjectHandler(func(int, *Packet, int64) {})
+	if !n.KillLink(14, int(East)) {
+		b.Fatal("kill refused")
+	}
+
+	mcs := DiamondMCPlacement(mesh, 8)
+	seed := uint64(1)
+	next := func(mod int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % mod
+	}
+	long := cfg.LongPacketFlits()
+	var id uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			// Re-arm a short corruption window on a rotating mesh link.
+			n.CorruptLink(next(36), next(NumDirections), n.Now()+8)
+		}
+		id++
+		pkt := &Packet{ID: id, Type: ReadReply, Dst: next(36), Size: long}
+		pkt.Check = PacketCheck(pkt)
+		n.Inject(mcs[i%len(mcs)], pkt)
+		n.Step()
+	}
+}
+
 // benchScanNet builds the baseline 6x6 network with the chosen stepping
 // mode for the event-vs-scan comparison benchmarks.
 func benchScanNet(b *testing.B, scan bool) *Network {

@@ -16,9 +16,55 @@ import "fmt"
 //  4. wormhole contiguity: within any VC buffer, flits form contiguous
 //     ascending runs per packet and packets never interleave.
 func (n *Network) CheckInvariants() error {
+	if err := n.checkRecovery(); err != nil {
+		return err
+	}
 	for _, r := range n.routers {
 		if err := n.checkRouter(r); err != nil {
 			return fmt.Errorf("router %d: %w", r.id, err)
+		}
+	}
+	return nil
+}
+
+// checkRecovery validates the fault-recovery protocol layer (recovery.go):
+//
+//  5. every NI's retransmission buffer respects its cap and its pending
+//     counter matches a recount;
+//  6. ctlPending equals the ACK/NACK signals actually sitting in NI
+//     inboxes (no signal is lost or double-counted);
+//  7. when nothing is in flight and no signal is pending, every
+//     retransmission buffer is empty — each accepted packet was delivered
+//     exactly once and acknowledged.
+func (n *Network) checkRecovery() error {
+	if !n.recoveryOn() {
+		return nil
+	}
+	n.fold() // checks run at step boundaries; drain any shard deltas first
+	inbox := 0
+	for id, ni := range n.nis {
+		if len(ni.retrans) > ni.retransCap {
+			return fmt.Errorf("ni %d: %d retrans entries exceed cap %d", id, len(ni.retrans), ni.retransCap)
+		}
+		pending := 0
+		for i := range ni.retrans {
+			if ni.retrans[i].pending {
+				pending++
+			}
+		}
+		if pending != ni.retransPending {
+			return fmt.Errorf("ni %d: retransPending %d != recounted %d", id, ni.retransPending, pending)
+		}
+		inbox += len(ni.inbox)
+	}
+	if inbox != n.ctlPending {
+		return fmt.Errorf("ctlPending %d != %d signals in NI inboxes", n.ctlPending, inbox)
+	}
+	if n.inFlight == 0 && n.ctlPending == 0 {
+		for id, ni := range n.nis {
+			if len(ni.retrans) != 0 {
+				return fmt.Errorf("ni %d: %d retrans entries with nothing in flight or pending", id, len(ni.retrans))
+			}
 		}
 	}
 	return nil

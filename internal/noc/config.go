@@ -127,6 +127,14 @@ type Config struct {
 	// differential testing and as a debugging escape hatch.
 	ScanStep bool
 
+	// RetransBufPkts, when positive, enables the fault-recovery protocol
+	// layer (recovery.go): sending NIs stamp a CRC over each packet, retain
+	// up to RetransBufPkts unacknowledged packets for retransmission, and
+	// receiving NIs drop-and-NACK corrupted packets instead of delivering
+	// them. 0 (default) disables recovery: corruption, if injected, is
+	// delivered undetected — the unprotected-network contrast case.
+	RetransBufPkts int
+
 	// CheckEvery, when positive, runs CheckInvariants every CheckEvery
 	// cycles at the end of Step and panics on the first violation. It is an
 	// opt-in self-check for test suites, soaks and debugging; the check is
@@ -180,6 +188,9 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.StarvationLimit <= 0 {
 		c.StarvationLimit = 1000
+	}
+	if c.RetransBufPkts < 0 {
+		return c, fmt.Errorf("noc: RetransBufPkts must be >= 0, got %d", c.RetransBufPkts)
 	}
 	if c.Nodes != nil && len(c.Nodes) != c.Mesh.Nodes() {
 		return c, fmt.Errorf("noc: Nodes has %d entries for a %d-node mesh", len(c.Nodes), c.Mesh.Nodes())

@@ -18,6 +18,11 @@ type ejector struct {
 	// backOut is the router output port whose credits track this ejector's
 	// buffer space.
 	backOut *outputPort
+	// vcBad accumulates, per reassembly VC, whether any flit of the packet
+	// currently reassembling arrived corrupted — the model of the receiving
+	// NI recomputing the packet CRC. Nil when recovery is disabled
+	// (corrupted packets are then delivered undetected).
+	vcBad []bool
 }
 
 func newEjector(net *Network, node int, backOut *outputPort) *ejector {
@@ -32,6 +37,9 @@ func newEjector(net *Network, node int, backOut *outputPort) *ejector {
 	}
 	for v := range e.vcs {
 		e.vcs[v] = newFlitQueue(cfg.VCDepth)
+	}
+	if cfg.RetransBufPkts > 0 {
+		e.vcBad = make([]bool, cfg.VCs)
 	}
 	return e
 }
@@ -64,9 +72,27 @@ func (e *ejector) consume(now int64) {
 		e.flits--
 		e.backOut.creditIn[v]++
 		e.net.stats.EjectFlits++
+		if f.bad && e.vcBad != nil {
+			e.vcBad[v] = true
+		}
 		if f.isTail() {
+			if e.vcBad != nil && e.vcBad[v] {
+				// CRC mismatch at reassembly: drop the packet and NACK the
+				// source; the sender's retransmission buffer still holds it.
+				// Credits were returned per flit above, so flow control is
+				// already settled; inFlight stays up until a clean copy of
+				// this packet is delivered.
+				e.vcBad[v] = false
+				e.net.dropCorrupt(e.node, f.pkt, now)
+				continue
+			}
 			e.net.stats.recordEject(f.pkt, now)
 			e.net.inFlight--
+			if e.vcBad != nil {
+				// Clean delivery: ACK frees the sender's retransmission slot.
+				// Sent before the handler, which may recycle the shell.
+				e.net.sendCtl(e.node, f.pkt.Src, f.pkt.ID, false, now)
+			}
 			// The eject event fires before the handler, which may recycle the
 			// packet into the pool (zeroing it).
 			if tr := e.net.tracer; tr != nil && f.pkt.traced {

@@ -2,12 +2,15 @@ package noc
 
 import "fmt"
 
-// Fault hooks: the attachment points internal/fault drives. Every fault is a
-// pure service stall — it suppresses arbitration or supply for a bounded
-// window but never touches buffers, credits or ownership, so credit-based
-// flow control absorbs it with zero flit loss and CheckInvariants stays
-// clean at every fault boundary. Overlapping faults on the same component
-// extend to the furthest horizon.
+// Fault hooks: the attachment points internal/fault drives. The stall kinds
+// (StallLink, FreezeInputPort, StallNISupply) are pure service stalls — they
+// suppress arbitration or supply for a bounded window but never touch
+// buffers, credits or ownership, so credit-based flow control absorbs them
+// with zero flit loss and CheckInvariants stays clean at every fault
+// boundary. Overlapping faults on the same component extend to the furthest
+// horizon. CorruptLink and KillLink are the data-fault kinds behind the
+// recovery protocol layer (recovery.go): corruption damages flit payloads
+// in transit, and a dead link is permanently excluded from routing.
 
 // StallLink stalls output port `port` of node's router until cycle `until`:
 // switch allocation never grants the output while stalled, so no flit
@@ -49,15 +52,73 @@ func (n *Network) StallNISupply(node int, until int64) {
 	}
 }
 
+// CorruptLink opens a corruption window on output port `port` of node's
+// router until cycle `until`: every flit traversing the link while the
+// window is open has its payload marked corrupted (flit.bad). Routing and
+// flow control are untouched — the damage is only observable to the
+// receiving NI's CRC check, which drops and NACKs the packet when recovery
+// is enabled (Config.RetransBufPkts > 0) and delivers it silently wrong
+// otherwise. Ports 0..NumDirections-1 are the mesh links; port
+// NumDirections is the local ejection link.
+func (n *Network) CorruptLink(node, port int, until int64) {
+	if port < 0 || port >= numOutPorts {
+		panic(fmt.Sprintf("noc: CorruptLink port %d out of range [0,%d)", port, numOutPorts))
+	}
+	op := n.routers[node].out[port]
+	if until > op.corruptUntil {
+		op.corruptUntil = until
+	}
+}
+
+// KillLink permanently removes the mesh link on output port `port` of
+// node's router. The whole network then switches to the fault-adaptive
+// up*/down* routing table (ftable.go): waiting packets everywhere re-route
+// through it (every router's deadEpoch is bumped), and new routes detour
+// around the dead link deadlock-free. Worms already granted the link drain
+// gracefully — switch allocation still serves active owners — so no flit
+// is lost at the instant of death. The kill is refused (returns false)
+// when there is no link, the link is already dead, or removing it would
+// disconnect the graph of bidirectionally-alive links the routing table is
+// built on; refusing keeps every fault schedule drainable. Only mesh ports
+// can die; the ejection "link" is node-internal.
+func (n *Network) KillLink(node, port int) bool {
+	if port < 0 || port >= NumDirections {
+		panic(fmt.Sprintf("noc: KillLink port %d out of range [0,%d)", port, NumDirections))
+	}
+	op := n.routers[node].out[port]
+	if op.destPort == nil || op.dead {
+		return false
+	}
+	op.dead = true // tentatively, for the connectivity probe
+	if !n.aliveBiConnected() {
+		op.dead = false
+		return false
+	}
+	n.recovery.DeadLinks++
+	n.rebuildFaultTable()
+	for _, r := range n.routers {
+		r.deadEpoch++
+	}
+	return true
+}
+
+// DeadLinks returns the number of permanently killed mesh links.
+func (n *Network) DeadLinks() int { return n.recovery.DeadLinks }
+
 // FaultHorizon returns the furthest fault expiry cycle over all components,
 // or 0 when no fault was ever applied. Drain loops use it to know when all
-// service stalls have lapsed.
+// service stalls have lapsed. Corruption windows count; dead links do not
+// (they never expire — drain relies on re-routing, not recovery of the
+// link).
 func (n *Network) FaultHorizon() int64 {
 	var h int64
 	for _, r := range n.routers {
 		for _, op := range r.out {
 			if op.stalledUntil > h {
 				h = op.stalledUntil
+			}
+			if op.corruptUntil > h {
+				h = op.corruptUntil
 			}
 		}
 		for _, ip := range r.in {

@@ -84,6 +84,11 @@ type Packet struct {
 
 	// Payload carries the higher-level transaction (e.g. *mem.Transaction).
 	Payload any
+
+	// Check is the CRC32 the sending NI stamps over the header identity when
+	// fault recovery is enabled (Config.RetransBufPkts > 0); see PacketCheck.
+	// Zero when recovery is off.
+	Check uint32
 }
 
 // flit is one link-width slice of a packet. Flits are small values stored
@@ -91,6 +96,11 @@ type Packet struct {
 type flit struct {
 	pkt *Packet
 	seq int // 0-based flit index within the packet
+	// bad marks a flit whose payload was corrupted on a link traversal
+	// (CorruptLink window). The flag rides the flit value through buffers
+	// and never influences routing or arbitration; only the receiving NI's
+	// CRC-check-equivalent reads it (see recovery.go).
+	bad bool
 }
 
 func (f flit) isHead() bool { return f.seq == 0 }

@@ -48,9 +48,22 @@ type Network struct {
 	ejectors []*ejector
 	nis      []*NI
 
-	now          int64
-	inFlight     int
-	stats        NetStats
+	now      int64
+	inFlight int
+	stats    NetStats
+	// recovery holds the fault-recovery protocol counters (recovery.go);
+	// kept off NetStats so encoded Results stay byte-identical to
+	// pre-recovery goldens. Never reset — consumers take deltas.
+	recovery RecoveryStats
+	// ctlPending counts ACK/NACK sideband signals issued but not yet
+	// consumed; it keeps Step and Idle honest after the last flit drains
+	// while acknowledgements are still propagating.
+	ctlPending int
+	// ftable is the fault-adaptive up*/down* next-hop table, non-nil once
+	// any mesh link is permanently dead; it then supersedes the configured
+	// routing algorithm entirely (ftable.go). Rebuilt on every kill,
+	// read-only during stepping.
+	ftable       []uint8
 	ejectHandler func(node int, pkt *Packet, now int64)
 	// sinkGate, when set, lets a node refuse ejection this cycle (e.g. a
 	// memory controller whose request ingress is full); the refusal backs
@@ -219,7 +232,7 @@ func (n *Network) Step() {
 	// Fold injection-phase deltas first: the inFlight early-out below must
 	// see packets node logic injected since the previous step.
 	n.fold()
-	if n.scan || n.inFlight > 0 {
+	if n.scan || n.inFlight > 0 || n.ctlPending > 0 {
 		n.stepPool.Run(len(n.shards), n.shardStepFn)
 		if n.sharded {
 			n.commitShards()
@@ -301,10 +314,11 @@ func (n *Network) InFlight() int {
 	return n.inFlight
 }
 
-// Idle reports whether no flit exists anywhere in the network.
+// Idle reports whether no flit exists anywhere in the network and no
+// recovery-protocol work (ACK/NACK signals, unacknowledged packets) remains.
 func (n *Network) Idle() bool {
 	n.fold()
-	if n.inFlight != 0 {
+	if n.inFlight != 0 || n.ctlPending != 0 {
 		return false
 	}
 	for _, ni := range n.nis {

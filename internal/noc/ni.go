@@ -51,6 +51,16 @@ type NI struct {
 	// before it the NI supplies no flits, so its queues back up and Offer
 	// rejections propagate the burst to the node (see internal/fault).
 	stalledUntil int64
+
+	// Fault-recovery protocol state (recovery.go). retransCap > 0 enables
+	// the layer: retrans retains unacknowledged packets (bounded by
+	// retransCap — a full buffer backpressures Offer), retransPending counts
+	// NACKed entries awaiting re-injection, and inbox holds ACK/NACK
+	// sideband signals in flight toward this NI.
+	retransCap     int
+	retrans        []retransEntry
+	retransPending int
+	inbox          []ctlSignal
 }
 
 func newNI(net *Network, node int, router *router) *NI {
@@ -93,6 +103,10 @@ func newNI(net *Network, node int, router *router) *NI {
 		ni.queue = newFlitQueue(cfg.NIQueueFlits)
 		ni.rrBind = newRoundRobin(len(ni.ports) * cfg.VCs)
 	}
+	if cfg.RetransBufPkts > 0 {
+		ni.retransCap = cfg.RetransBufPkts
+		ni.retrans = make([]retransEntry, 0, cfg.RetransBufPkts)
+	}
 	return ni
 }
 
@@ -107,6 +121,9 @@ func (ni *NI) creditReturn(p, v int) { ni.vcCredits[p][v]++ }
 func (ni *NI) CanAccept(pkt *Packet, now int64) bool {
 	if ni.offeredThisCycle && ni.lastOfferCycle == now {
 		return false
+	}
+	if ni.retransCap > 0 && len(ni.retrans) >= ni.retransCap {
+		return false // retransmission buffer full: unacked packets at the cap
 	}
 	if ni.mode == NINarrowLink && now < ni.mcLinkBusyUntil {
 		return false // previous packet still serialising over the MC->NI link
@@ -124,6 +141,9 @@ func (ni *NI) Offer(pkt *Packet, now int64) bool {
 	if !ni.CanAccept(pkt, now) {
 		ni.rejectedOfferEvents++
 		ni.sh.ctr.niFullRejects++
+		if ni.retransCap > 0 && len(ni.retrans) >= ni.retransCap {
+			ni.sh.ctr.retransFullRejects++
+		}
 		return false
 	}
 	ni.offeredThisCycle = true
@@ -142,6 +162,21 @@ func (ni *NI) Offer(pkt *Packet, now int64) bool {
 		q = ni.splitQueues[ni.pickSplitQueue(pkt)]
 	} else {
 		q = ni.queue
+	}
+	if ni.retransCap > 0 {
+		// Stamp the end-to-end checksum and retain the packet's identity
+		// until the ACK arrives (recovery.go). Identity fields are copied:
+		// the delivered shell may be recycled while the ACK is in flight.
+		pkt.Check = PacketCheck(pkt)
+		ni.retrans = append(ni.retrans, retransEntry{
+			id:      pkt.ID,
+			typ:     pkt.Type,
+			dst:     pkt.Dst,
+			size:    pkt.Size,
+			check:   pkt.Check,
+			created: pkt.CreatedAt,
+			payload: pkt.Payload,
+		})
 	}
 	for s := 0; s < pkt.Size; s++ {
 		q.push(flit{pkt: pkt, seq: s})
@@ -184,6 +219,12 @@ func (ni *NI) pickSplitQueue(pkt *Packet) int {
 // (the injection link is a real 1-cycle link).
 func (ni *NI) step(now int64) {
 	if now >= ni.stalledUntil {
+		if ni.retransCap > 0 {
+			// Protocol work first: consume due ACK/NACKs and re-inject at
+			// most one NACKed packet, so it can start supplying this cycle.
+			// A stalled NI does neither — the fault freezes the whole NI.
+			ni.stepProtocol(now)
+		}
 		switch ni.mode {
 		case NISplit:
 			ni.stepSplit(now)

@@ -31,6 +31,10 @@ type inputVC struct {
 	cands   []routeCandidate
 	outPort int
 	outVC   int
+	// routeEpoch is the router's deadEpoch at the time cands was computed;
+	// a waiting VC whose epoch is stale recomputes its candidates, so a
+	// link death re-routes packets that were already waiting on it.
+	routeEpoch int
 	// effPrio is the packet priority captured at route computation, before
 	// the per-hop decrement (§5): the value the packet carried on arrival.
 	effPrio int
@@ -114,6 +118,14 @@ type outputPort struct {
 	// before it, switch allocation never grants this output, so no flit
 	// traverses the link. Credits and buffered flits are untouched.
 	stalledUntil int64
+	// corruptUntil is the fault-injection corruption horizon: flits
+	// traversing the link while now is before it are marked bad (payload
+	// bit-flips detected by the receiving NI's CRC check; see recovery.go).
+	corruptUntil int64
+	// dead marks a permanently killed mesh link (KillLink): route
+	// computation never offers it again. Worms that held it at death drain
+	// gracefully.
+	dead bool
 }
 
 // router is a virtual-channel wormhole router with a single-cycle
@@ -148,6 +160,11 @@ type router struct {
 	// lastVA is the cycle vcAllocate last ran, so the unconditional rrVA
 	// rotation of skipped cycles can be fast-forwarded on wake-up.
 	lastVA int64
+
+	// deadEpoch increments on every link kill anywhere in the mesh (the
+	// fault-routing table is global), so waiting VCs know to recompute
+	// their route candidates (see routeCompute).
+	deadEpoch int
 }
 
 func newRouter(net *Network, id int) *router {
@@ -253,24 +270,37 @@ func (r *router) applyArrivals(now int64) {
 
 // routeCompute runs RC for every idle VC with a buffered head flit: it
 // computes the admissible candidates, captures the arrival priority, and
-// performs the per-hop priority decrement (§5).
+// performs the per-hop priority decrement (§5). VCs still waiting for a
+// downstream VC recompute their candidates when a link died since their
+// last RC (routeEpoch stale) — without re-applying the priority decrement,
+// which is per hop, not per recomputation.
 func (r *router) routeCompute(now int64) {
 	for _, vc := range r.allVCs {
-		if vc.state != vcIdle || vc.buf.empty() {
+		if vc.buf.empty() {
 			continue
 		}
-		f := vc.buf.front()
-		if !f.isHead() {
-			panic("noc: non-head flit at front of idle VC")
+		switch vc.state {
+		case vcIdle:
+			f := vc.buf.front()
+			if !f.isHead() {
+				panic("noc: non-head flit at front of idle VC")
+			}
+			pkt := f.pkt
+			vc.cands = r.net.routeCandidates(r.id, pkt.Dst, vc.cands)
+			vc.routeEpoch = r.deadEpoch
+			vc.effPrio = pkt.Priority
+			if pkt.Priority > 0 {
+				pkt.Priority--
+			}
+			vc.state = vcWaitVC
+			vc.waitSince = now
+		case vcWaitVC:
+			if vc.routeEpoch != r.deadEpoch {
+				pkt := vc.buf.front().pkt
+				vc.cands = r.net.routeCandidates(r.id, pkt.Dst, vc.cands)
+				vc.routeEpoch = r.deadEpoch
+			}
 		}
-		pkt := f.pkt
-		vc.cands = computeRoute(r.net.cfg.Mesh, r.net.cfg.Routing, r.id, pkt.Dst, r.net.cfg.VCs, vc.cands)
-		vc.effPrio = pkt.Priority
-		if pkt.Priority > 0 {
-			pkt.Priority--
-		}
-		vc.state = vcWaitVC
-		vc.waitSince = now
 	}
 }
 
@@ -443,6 +473,12 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	ov.credits--
 	op.flits++
 	r.sh.ctr.switchTraversals++
+	if now < op.corruptUntil {
+		// The link is inside a corruption window: the flit's payload is
+		// damaged in transit. Only the receiving NI's CRC check observes it.
+		f.bad = true
+		r.sh.ctr.corruptFlits++
+	}
 	if tr := r.net.tracer; tr != nil && f.seq == 0 && f.pkt.traced {
 		tr.PacketEvent(f.pkt.ID, f.pkt.Type, f.pkt.Src, f.pkt.Dst, r.id, TraceSwitch, now)
 	}

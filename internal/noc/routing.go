@@ -41,10 +41,14 @@ func maskNoEscape(n int) uint32 {
 }
 
 // computeRoute returns the admissible output candidates for a packet at the
-// router of node `here` heading to pkt.Dst. The ejection port is returned
-// when the packet has arrived. Candidates are ordered deterministically:
-// the XY-preferred port first (it is the only one carrying the escape VC),
-// then the other productive direction.
+// router of node `here` heading to pkt.Dst, on a healthy mesh. The ejection
+// port is returned when the packet has arrived. Candidates are ordered
+// deterministically: the XY-preferred port first (it is the only one
+// carrying the escape VC), then the other productive direction.
+//
+// computeRoute assumes every link is alive; the moment any mesh link dies
+// permanently, routing switches to the fault-adaptive up*/down* table
+// instead (Network.routeCandidates, ftable.go).
 func computeRoute(m Mesh, algo RoutingAlgo, here, dst, vcs int, scratch []routeCandidate) []routeCandidate {
 	scratch = scratch[:0]
 	if here == dst {
@@ -80,11 +84,11 @@ func computeRoute(m Mesh, algo RoutingAlgo, here, dst, vcs int, scratch []routeC
 	// adaptive VCs; the escape VC is additionally admissible on the XY
 	// direction only.
 	if hasX && hasY {
-		scratch = append(scratch, routeCandidate{port: int(xyDir), vcMask: maskNoEscape(vcs) | 1})
 		other := yDir
 		if xyDir == yDir {
 			other = xDir
 		}
+		scratch = append(scratch, routeCandidate{port: int(xyDir), vcMask: maskNoEscape(vcs) | 1})
 		scratch = append(scratch, routeCandidate{port: int(other), vcMask: maskNoEscape(vcs)})
 		return scratch
 	}

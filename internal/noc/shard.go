@@ -50,6 +50,14 @@ type shardCounters struct {
 	vaGrants          uint64
 	inFlight          int
 	injWindow         uint32
+	// Fault-recovery deltas (recovery.go): corruption marking happens in
+	// traverse, retransmission and control-signal consumption in ni.step —
+	// all phase-A work, so they take the same per-shard path as the rest.
+	corruptFlits       uint64
+	retransPackets     uint64
+	retransFlits       uint64
+	retransFullRejects uint64
+	ctlConsumed        uint64
 	// pktIDNext/pktIDStride give each shard a disjoint packet-ID sequence
 	// (shard i issues i+1, i+1+K, ...), so concurrent injection needs no
 	// shared counter. IDs are not part of encoded Results; with one shard
@@ -121,7 +129,7 @@ func (s *netShard) step(now int64, scan bool) {
 		}
 	}
 	for _, ni := range s.nis {
-		if ni.totalQueuedFlits > 0 {
+		if ni.totalQueuedFlits > 0 || ni.protoActive() {
 			ni.step(now)
 		}
 	}
@@ -286,6 +294,11 @@ func (n *Network) fold() {
 		n.vaGrants += c.vaGrants
 		n.inFlight += c.inFlight
 		n.injWindowCount += c.injWindow
+		n.recovery.CorruptFlits += c.corruptFlits
+		n.recovery.RetransPackets += c.retransPackets
+		n.recovery.RetransFlits += c.retransFlits
+		n.recovery.RetransBufFullRejects += c.retransFullRejects
+		n.ctlPending -= int(c.ctlConsumed)
 		c.niFullRejects = 0
 		c.injLinkFlits = 0
 		c.meshLinkFlits = 0
@@ -294,6 +307,11 @@ func (n *Network) fold() {
 		c.vaGrants = 0
 		c.inFlight = 0
 		c.injWindow = 0
+		c.corruptFlits = 0
+		c.retransPackets = 0
+		c.retransFlits = 0
+		c.retransFullRejects = 0
+		c.ctlConsumed = 0
 	}
 }
 

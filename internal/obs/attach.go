@@ -58,6 +58,18 @@ func attachFabric(reg *Registry, label string, n *noc.Network) {
 		reg.Gauge(fmt.Sprintf("%s.vc_flits.v%d", label, vc),
 			func() float64 { return float64(n.VCOccupancy(vc)) })
 	}
+	// Recovery-protocol counters, only when the layer is enabled: networks
+	// without it keep their historical metric set byte-identical.
+	if n.Config().RetransBufPkts > 0 {
+		reg.Counter(label+".corrupt_flits", func() float64 { return float64(n.RecoveryStats().CorruptFlits) })
+		reg.Counter(label+".corrupt_packets", func() float64 { return float64(n.RecoveryStats().CorruptPackets) })
+		reg.Counter(label+".nacks_sent", func() float64 { return float64(n.RecoveryStats().NacksSent) })
+		reg.Counter(label+".acks_sent", func() float64 { return float64(n.RecoveryStats().AcksSent) })
+		reg.Counter(label+".retrans_packets", func() float64 { return float64(n.RecoveryStats().RetransPackets) })
+		reg.Counter(label+".retrans_buf_rejects", func() float64 { return float64(n.RecoveryStats().RetransBufFullRejects) })
+		reg.Gauge(label+".dead_links", func() float64 { return float64(n.DeadLinks()) })
+		reg.Gauge(label+".ctl_pending", func() float64 { return float64(n.CtlPending()) })
+	}
 }
 
 // attachBehaviouralFabric registers the reduced probe set available on

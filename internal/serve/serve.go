@@ -84,6 +84,11 @@ type Stats struct {
 	// ServiceTimeMs is the exponentially weighted moving average of
 	// observed simulation wall time, the basis of Retry-After.
 	ServiceTimeMs float64 `json:"service_time_ms"`
+	// FaultEvents totals the injected NoC faults over every simulation this
+	// process ran; RecoveredPackets totals their corrupted-and-retransmitted
+	// packets (zero for fault-free configurations).
+	FaultEvents      int64 `json:"fault_events"`
+	RecoveredPackets int64 `json:"recovered_packets"`
 }
 
 // Server is the http.Handler implementing the job API:
@@ -106,14 +111,16 @@ type Server struct {
 	rootCtx context.Context
 	abort   context.CancelFunc
 
-	mu        sync.Mutex
-	draining  bool
-	ewma      time.Duration
-	completed int64
-	cacheHits int64
-	estimated int64
-	shed      int64
-	inflight  sync.WaitGroup
+	mu          sync.Mutex
+	draining    bool
+	ewma        time.Duration
+	completed   int64
+	cacheHits   int64
+	estimated   int64
+	shed        int64
+	faultEvents int64
+	recovered   int64
+	inflight    sync.WaitGroup
 }
 
 // New builds a Server over cfg.Runner.
@@ -239,13 +246,15 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Admitted:      len(s.queue),
-		Completed:     s.completed,
-		CacheHits:     s.cacheHits,
-		Estimated:     s.estimated,
-		Shed:          s.shed,
-		Draining:      s.draining,
-		ServiceTimeMs: float64(s.ewma) / float64(time.Millisecond),
+		Admitted:         len(s.queue),
+		Completed:        s.completed,
+		CacheHits:        s.cacheHits,
+		Estimated:        s.estimated,
+		Shed:             s.shed,
+		Draining:         s.draining,
+		ServiceTimeMs:    float64(s.ewma) / float64(time.Millisecond),
+		FaultEvents:      s.faultEvents,
+		RecoveredPackets: s.recovered,
 	}
 }
 
@@ -362,6 +371,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observe(time.Since(start))
+	s.mu.Lock()
+	s.faultEvents += int64(results[0].FaultEvents)
+	s.recovered += int64(results[0].Recovery.RetransPackets)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, JobResponse{Key: key, Result: results[0]})
 }
 
