@@ -3,7 +3,7 @@ DATE := $(shell date +%Y%m%d)
 # their base date).
 BASELINE := $(lastword $(sort $(wildcard BENCH_*.json)))
 
-.PHONY: check test bench benchdiff validate-analytic fuzz soak chaos loadtest obs profile
+.PHONY: check test bench benchdiff validate-analytic fuzz soak chaos cluster-soak loadtest obs profile
 
 # check is the full gate: build everything, vet, and run all tests with the
 # race detector (covers the equivalence, golden, property, and race suites).
@@ -21,7 +21,7 @@ test:
 # minimum, so the committed baseline uses the same min-of-N protocol as the
 # gate's fresh run.
 bench:
-	go test ./internal/noc ./internal/analytic . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite' -benchmem -count=3 \
+	go test ./internal/noc ./internal/analytic ./internal/cluster . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite|GateRoute' -benchmem -count=3 \
 		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_$(DATE).json
 
 # benchdiff is the benchmark regression gate: re-run the NetworkStep and
@@ -30,7 +30,7 @@ bench:
 # min-of-N folding in benchdiff keeps the gate robust to scheduling noise
 # on shared CI machines.
 benchdiff:
-	go test ./internal/noc ./internal/analytic . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite' -benchmem -benchtime 0.5s -count=3 \
+	go test ./internal/noc ./internal/analytic ./internal/cluster . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite|GateRoute' -benchmem -benchtime 0.5s -count=3 \
 		| tee /dev/stderr | go run ./cmd/benchjson \
 		| go run ./cmd/benchdiff -baseline $(BASELINE)
 
@@ -62,6 +62,19 @@ soak:
 chaos:
 	go test -race -count=1 ./internal/fault -run 'Chaos'
 	go test -race -count=1 ./internal/serve -run 'ChaosKillRestart' -timeout 10m
+
+# cluster-soak runs the cluster-wide chaos soak under -race (DESIGN.md §14):
+# three journalled ariserve replicas behind an arigate front door, replicas
+# hard-killed and restarted mid-flight while chaos faults (corruption bursts
+# + link deaths) are active inside every simulation. Invariants: every job
+# answered byte-identically to an uninterrupted run, zero lost jobs, zero
+# re-runs of completed jobs (a post-soak resubmission sweep is served
+# entirely from journals — locally or via cross-replica peer fetch), and the
+# failover/hedging path actually exercised. The cluster unit suites (ring
+# properties, breaker, gateway routing) and the arigate lifecycle smoke run
+# alongside.
+cluster-soak:
+	go test -race -count=1 ./internal/cluster ./cmd/arigate -timeout 15m
 
 # loadtest runs the serving robustness suites under -race: overload (shed
 # requests answer 429 + Retry-After and the retrying client still completes

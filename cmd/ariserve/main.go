@@ -9,6 +9,7 @@
 //	ariserve -inflight 4 -queue 8             # admission bounds
 //	ariserve -drain-timeout 1m                # graceful-drain budget
 //	ariserve -timeout 5m -retries 1           # per-run cap + transient retry
+//	ariserve -peers http://b:8080,http://c:8080   # cluster: adopt peer results
 //
 // API:
 //
@@ -39,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		warmup   = fs.Int64("warmup", 3000, "default warmup cycles per run")
 		timeout  = fs.Duration("timeout", 0, "per-run wall-time cap (0 = unlimited)")
 		retries  = fs.Int("retries", 1, "per-run retries for timed-out runs (transient contention)")
+		peers    = fs.String("peers", "", "comma-separated peer ariserve URLs: jobs journalled on a peer are adopted instead of re-run")
+		peerTO   = fs.Duration("peer-timeout", time.Second, "per-submission budget for the peer result-fetch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,7 +99,17 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		}
 	}
 
-	s, err := serve.New(serve.Config{Runner: r, MaxInFlight: *inflight, QueueDepth: *queue})
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, strings.TrimRight(p, "/"))
+		}
+	}
+
+	s, err := serve.New(serve.Config{
+		Runner: r, MaxInFlight: *inflight, QueueDepth: *queue,
+		Peers: peerList, PeerTimeout: *peerTO,
+	})
 	if err != nil {
 		return err
 	}

@@ -61,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		warmup  = fs.Int64("warmup", 2000, "warmup cycles")
 		seed    = fs.Uint64("seed", 1, "seed")
 		journal = fs.String("journal", "", "JSONL result journal; an interrupted sweep resumes from it")
-		timeout = fs.Duration("timeout", 0, "per-run wall-time limit (0 = unlimited)")
+		timeout = fs.Duration("timeout", 0, "per-run wall-time limit (0 = unlimited); with -server it becomes the job's timeout_ms and bounds the submission round trip")
 		server  = fs.String("server", "", "ariserve base URL; points run remotely via the retrying client")
 		shards  = fs.Int("shards", 0, "per-run intra-run parallelism: worker shards per simulation (0/1 = serial; results byte-identical)")
 
@@ -197,7 +197,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		cli := client.New(*server)
 		runPoint = func(cfg core.Config) (core.Result, error) {
-			resp, err := cli.Submit(context.Background(), serve.JobRequest{Bench: *bench, Config: &cfg})
+			// -timeout propagates to the server as the job's watchdog deadline
+			// (TimeoutMs) and, padded for queueing and retries, bounds the
+			// whole submission round trip — a remote sweep point cannot hang
+			// past its budget any more than a local one can.
+			req := serve.JobRequest{Bench: *bench, Config: &cfg}
+			ctx := context.Background()
+			if *timeout > 0 {
+				req.TimeoutMs = timeout.Milliseconds()
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, 4**timeout)
+				defer cancel()
+			}
+			resp, err := cli.Submit(ctx, req)
 			if err != nil {
 				return core.Result{}, err
 			}

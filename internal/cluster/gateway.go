@@ -1,0 +1,406 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Base is the configuration jobs resolve against when they carry no
+	// explicit Config — it must match the replicas' base, or the gateway
+	// and the replicas would disagree on JobKeys. Required.
+	Base core.Config
+
+	// Replicas are the ariserve base URLs forming the cluster. Required.
+	Replicas []string
+
+	// Vnodes is the per-replica virtual-node count (DefaultVnodes when 0).
+	Vnodes int
+
+	// Replication is how many distinct owners each key has on the ring —
+	// the failover depth. Default 2, clamped to len(Replicas).
+	Replication int
+
+	// HedgeAfter races a secondary owner when the primary has not answered
+	// within this long (default 250ms; negative disables hedging).
+	// Idempotent jobs make the duplicate harmless, determinism makes both
+	// answers identical — first one back wins.
+	HedgeAfter time.Duration
+
+	// ProbeInterval is the readyz health-probe cadence (default 500ms).
+	ProbeInterval time.Duration
+
+	// BreakerThreshold opens a replica's circuit after this many
+	// consecutive failures (default 3).
+	BreakerThreshold int
+
+	// HTTPClient overrides the client used for proxying and probing.
+	HTTPClient *http.Client
+}
+
+// Stats is a point-in-time snapshot of the gateway's counters.
+type Stats struct {
+	// Requests counts job submissions accepted for routing.
+	Requests int64 `json:"requests"`
+	// Shed counts submissions answered 429 because every owner of the key
+	// was down or shedding.
+	Shed int64 `json:"shed"`
+	// Failovers counts attempts launched because a prior owner failed or
+	// shed; Hedges counts attempts launched because a prior owner was slow.
+	Failovers int64 `json:"failovers"`
+	Hedges    int64 `json:"hedges"`
+	// HedgeWins counts requests whose winning answer came from a hedged
+	// attempt.
+	HedgeWins int64 `json:"hedge_wins"`
+	// Replicas is the per-replica routing + health table.
+	Replicas []ReplicaStats `json:"replicas"`
+}
+
+// ReplicaStats is one replica's row in Stats.
+type ReplicaStats struct {
+	ReplicaHealth
+	// Routed counts attempts sent to this replica (including failed ones).
+	Routed int64 `json:"routed"`
+}
+
+// Gateway is the arigate front door: an http.Handler that routes job
+// submissions to ariserve replicas by consistent hash over their JobKey,
+// with health-checked failover, hedging, and load shedding.
+//
+//	POST /v1/jobs   route a JobRequest to its owner replicas
+//	GET  /v1/stats  routing/failover/hedge counters (Stats)
+//	GET  /healthz   liveness of the gateway process
+//	GET  /readyz    200 while >= 1 replica is routable, else 503
+//	GET  /metrics   Prometheus text: routing, failover, hedge, per-replica
+type Gateway struct {
+	base       core.Config
+	ring       *Ring
+	health     *Health
+	repl       int
+	hedgeAfter time.Duration
+	hc         *http.Client
+	mux        *http.ServeMux
+	started    time.Time
+
+	mu        sync.Mutex
+	requests  int64
+	shed      int64
+	failovers int64
+	hedges    int64
+	hedgeWins int64
+	routed    map[string]int64
+}
+
+// New builds a Gateway; call Start to begin health probing and Close to
+// stop it.
+func New(cfg Config) (*Gateway, error) {
+	ring, err := NewRing(cfg.Replicas, cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	repl := cfg.Replication
+	if repl <= 0 {
+		repl = 2
+	}
+	if repl > len(ring.replicas) {
+		repl = len(ring.replicas)
+	}
+	hedge := cfg.HedgeAfter
+	if hedge == 0 {
+		hedge = 250 * time.Millisecond
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	g := &Gateway{
+		base:       cfg.Base,
+		ring:       ring,
+		health:     NewHealth(ring.Replicas(), cfg.BreakerThreshold, cfg.ProbeInterval, hc),
+		repl:       repl,
+		hedgeAfter: hedge,
+		hc:         hc,
+		started:    time.Now(),
+		routed:     make(map[string]int64, len(cfg.Replicas)),
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("/v1/jobs", g.handleJobs)
+	g.mux.HandleFunc("/v1/stats", g.handleStats)
+	g.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	g.mux.HandleFunc("/readyz", g.handleReady)
+	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	return g, nil
+}
+
+// Start launches the background health probes.
+func (g *Gateway) Start() { g.health.Start() }
+
+// Close stops the health probes.
+func (g *Gateway) Close() { g.health.Close() }
+
+// Ring exposes the routing ring (tests, tooling).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Health exposes the health tracker (tests, tooling).
+func (g *Gateway) Health() *Health { return g.health }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Stats returns a snapshot of the gateway counters.
+func (g *Gateway) Stats() Stats {
+	rows := g.health.Snapshot()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Stats{
+		Requests:  g.requests,
+		Shed:      g.shed,
+		Failovers: g.failovers,
+		Hedges:    g.hedges,
+		HedgeWins: g.hedgeWins,
+		Replicas:  make([]ReplicaStats, 0, len(rows)),
+	}
+	for _, row := range rows {
+		st.Replicas = append(st.Replicas, ReplicaStats{ReplicaHealth: row, Routed: g.routed[row.URL]})
+	}
+	return st
+}
+
+func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if g.health.UpCount() == 0 {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no routable replicas")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(g.Stats())
+}
+
+// attemptResult is one proxied attempt's outcome.
+type attemptResult struct {
+	replica     string
+	hedged      bool
+	err         error // transport failure; status fields unset
+	status      int
+	retryAfter  int
+	contentType string
+	body        []byte
+}
+
+// handleJobs routes one submission: consistent-hash owners, healthy-first,
+// hedged when slow, failing over on shed/unavailable/transport errors, and
+// shedding 429 + Retry-After itself when every owner is out.
+func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return
+	}
+	var q serve.JobRequest
+	if err := json.Unmarshal(body, &q); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	// Resolve the job exactly as a replica would, so the routing key IS the
+	// idempotency key: every duplicate of a job lands on the same owners.
+	job, err := serve.BuildJob(g.base, &q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := exp.JobKey(job.Cfg, job.Kernel.Name)
+
+	owners := g.ring.Owners(key, g.repl)
+	cands := owners[:0]
+	for _, o := range owners {
+		if g.health.Up(o) {
+			cands = append(cands, o)
+		}
+	}
+	g.mu.Lock()
+	g.requests++
+	g.mu.Unlock()
+	if len(cands) == 0 {
+		g.shedOne(w, 0)
+		return
+	}
+
+	// Proxy with hedging + failover. The per-request context cancels every
+	// losing attempt the moment an answer is relayed.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	results := make(chan attemptResult, len(cands))
+	next, pending := 0, 0
+	launch := func(hedged bool) bool {
+		if next >= len(cands) {
+			return false
+		}
+		rep := cands[next]
+		next++
+		pending++
+		g.mu.Lock()
+		g.routed[rep]++
+		g.mu.Unlock()
+		go func() { results <- g.forward(ctx, rep, body, hedged) }()
+		return true
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	if g.hedgeAfter > 0 && len(cands) > 1 {
+		t := time.NewTimer(g.hedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	maxRetryAfter := 0
+	for pending > 0 {
+		select {
+		case res := <-results:
+			pending--
+			if res.err != nil {
+				if ctx.Err() != nil {
+					return // client gone; nothing to answer
+				}
+				// Transport failure: the restart/death signature. Feed the
+				// breaker and re-route to the next owner.
+				g.health.ReportFailure(res.replica)
+				if launch(false) {
+					g.mu.Lock()
+					g.failovers++
+					g.mu.Unlock()
+				}
+				continue
+			}
+			g.health.ReportSuccess(res.replica)
+			switch {
+			case res.status >= 200 && res.status < 300:
+				if res.hedged {
+					g.mu.Lock()
+					g.hedgeWins++
+					g.mu.Unlock()
+				}
+				relay(w, res)
+				return
+			case res.status == http.StatusTooManyRequests ||
+				res.status == http.StatusServiceUnavailable ||
+				res.status == http.StatusBadGateway ||
+				res.status == http.StatusGatewayTimeout:
+				// The owner is alive but shedding or draining: degrade
+				// sideways to the next owner before degrading to a shed.
+				if res.retryAfter > maxRetryAfter {
+					maxRetryAfter = res.retryAfter
+				}
+				if launch(false) {
+					g.mu.Lock()
+					g.failovers++
+					g.mu.Unlock()
+				}
+			default:
+				// Deterministic rejection (malformed job, simulation
+				// failure): identical on every replica, so relay verbatim —
+				// failing over would only duplicate the failure.
+				relay(w, res)
+				return
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launch(true) {
+				g.mu.Lock()
+				g.hedges++
+				g.mu.Unlock()
+			}
+		case <-ctx.Done():
+			return // client gone
+		}
+	}
+	// Every owner of this key is down or shedding: shed with the most
+	// pessimistic Retry-After any owner offered.
+	g.shedOne(w, maxRetryAfter)
+}
+
+// forward performs one proxied POST /v1/jobs round trip to replica.
+func (g *Gateway) forward(ctx context.Context, replica string, body []byte, hedged bool) attemptResult {
+	out := attemptResult{replica: replica, hedged: hedged}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, replica+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.status = resp.StatusCode
+	out.contentType = resp.Header.Get("Content-Type")
+	out.body = raw
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		out.retryAfter = secs
+	}
+	return out
+}
+
+// shedOne answers one unroutable submission with 429 + Retry-After.
+func (g *Gateway) shedOne(w http.ResponseWriter, retryAfter int) {
+	g.mu.Lock()
+	g.shed++
+	g.mu.Unlock()
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, http.StatusTooManyRequests, "all owners of this job are down or shedding")
+}
+
+// relay copies one replica answer to the client verbatim.
+func relay(w http.ResponseWriter, res attemptResult) {
+	ct := res.contentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	if res.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

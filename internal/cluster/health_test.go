@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHealthBreakerOpensAndProbeCloses(t *testing.T) {
+	// A replica that can be flipped between ready and dead-to-the-world.
+	var ready atomic.Bool
+	ready.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	h := NewHealth([]string{ts.URL}, 3, 10*time.Millisecond, nil)
+	h.Start()
+	defer h.Close()
+
+	if !h.Up(ts.URL) {
+		t.Fatal("replica not routable at cold start")
+	}
+
+	// Three consecutive proxied failures open the circuit.
+	h.ReportFailure(ts.URL)
+	h.ReportFailure(ts.URL)
+	if !h.Up(ts.URL) {
+		t.Fatal("circuit opened below threshold")
+	}
+	ready.Store(false) // keep probes failing too, so the probe loop cannot close it
+	h.ReportFailure(ts.URL)
+	if h.Up(ts.URL) {
+		t.Fatal("circuit still closed after threshold failures")
+	}
+	if h.UpCount() != 0 {
+		t.Fatalf("UpCount = %d with the only replica open", h.UpCount())
+	}
+
+	// Recovery: the probe loop is the half-open path — the first successful
+	// readyz closes the circuit without any proxied traffic.
+	ready.Store(true)
+	deadline := time.Now().Add(2 * time.Second)
+	for !h.Up(ts.URL) {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never closed the circuit after recovery")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	snap := h.Snapshot()
+	if len(snap) != 1 || snap[0].URL != ts.URL || !snap[0].Up {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Probes == 0 || snap[0].Failures == 0 {
+		t.Fatalf("snapshot lost counters: %+v", snap[0])
+	}
+}
+
+func TestHealthProbeOpensOnDeadReplica(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // connection refused from here on
+
+	h := NewHealth([]string{url}, 2, 5*time.Millisecond, nil)
+	h.Start()
+	defer h.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Up(url) {
+		if time.Now().After(deadline) {
+			t.Fatal("probes never opened the circuit on a dead replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHealthIgnoresUnknownReplica(t *testing.T) {
+	h := NewHealth([]string{"http://a:1"}, 2, time.Hour, nil)
+	h.ReportFailure("http://not-ours:9")
+	if h.Up("http://not-ours:9") {
+		t.Fatal("unknown replica reported routable")
+	}
+	if !h.Up("http://a:1") {
+		t.Fatal("known replica affected by unknown report")
+	}
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics exposes the gateway's routing counters in Prometheus text
+// format, mirroring ariserve's /metrics shape (internal/obs.PromWriter).
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := g.Stats()
+	var p obs.PromWriter
+	p.Metric("arigate_requests_total", "Job submissions accepted for routing.", "counter", float64(st.Requests))
+	p.Metric("arigate_shed_total", "Submissions answered 429 because every owner was down or shedding.", "counter", float64(st.Shed))
+	p.Metric("arigate_failovers_total", "Attempts launched because a prior owner failed or shed.", "counter", float64(st.Failovers))
+	p.Metric("arigate_hedges_total", "Attempts launched because a prior owner was slow.", "counter", float64(st.Hedges))
+	p.Metric("arigate_hedge_wins_total", "Requests won by a hedged attempt.", "counter", float64(st.HedgeWins))
+	p.Metric("arigate_replicas", "Replicas on the routing ring.", "gauge", float64(len(st.Replicas)))
+
+	p.Family("arigate_replica_up", "Whether the replica's circuit is closed (routable).", "gauge")
+	for _, r := range st.Replicas {
+		p.Sample("arigate_replica_up", fmt.Sprintf("replica=%q", r.URL), obs.Bool(r.Up))
+	}
+	p.Family("arigate_replica_routed_total", "Attempts sent to the replica.", "counter")
+	for _, r := range st.Replicas {
+		p.Sample("arigate_replica_routed_total", fmt.Sprintf("replica=%q", r.URL), float64(r.Routed))
+	}
+	p.Family("arigate_replica_failures_total", "Probe and proxy failures observed for the replica.", "counter")
+	for _, r := range st.Replicas {
+		p.Sample("arigate_replica_failures_total", fmt.Sprintf("replica=%q", r.URL), float64(r.Failures))
+	}
+	p.Metric("arigate_uptime_seconds", "Seconds since the gateway started.", "gauge", time.Since(g.started).Seconds())
+	p.ServeText(w)
+}

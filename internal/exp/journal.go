@@ -123,17 +123,19 @@ func (j *Journal) lookup(key string) (core.Result, bool) {
 	return r, ok
 }
 
+// Get returns the journalled result for key, if present. It is the
+// read side cluster peers hit while a job is completing locally: the
+// in-memory index is published under the journal lock only after the
+// record's line is fully written and fsync'd, so a concurrent Get observes
+// either no entry or the complete, durable record — never a torn tail.
+func (j *Journal) Get(key string) (core.Result, bool) { return j.lookup(key) }
+
 // record appends one finished run and syncs it to disk before returning, so
 // a crash immediately after never loses it.
 func (j *Journal) record(key string, res core.Result) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return fmt.Errorf("exp: journal %s is closed", j.path)
-	}
-	if _, ok := j.entries[key]; ok {
-		return nil
-	}
+	// Encode outside the lock: marshalling a Result is the expensive part
+	// of an append and needs no journal state, so concurrent Get readers
+	// (peer fetches) are not held behind it.
 	line, err := json.Marshal(journalEntry{
 		V:      journalVersion,
 		Key:    key,
@@ -145,6 +147,14 @@ func (j *Journal) record(key string, res core.Result) error {
 		return fmt.Errorf("exp: encode journal entry: %w", err)
 	}
 	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("exp: journal %s is closed", j.path)
+	}
+	if _, ok := j.entries[key]; ok {
+		return nil
+	}
 	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("exp: append journal: %w", err)
 	}

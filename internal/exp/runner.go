@@ -82,6 +82,10 @@ type Runner struct {
 
 	mu    sync.Mutex
 	cache map[runKey]core.Result
+	// byKey mirrors the cache keyed by JobKey — the identity cluster peers
+	// query by — so a serving layer can answer /v1/results/<key> without
+	// reversing the hash.
+	byKey map[string]core.Result
 	runs  int
 }
 
@@ -154,8 +158,10 @@ func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) ([]core.Result, 
 			continue
 		}
 		if r.Journal != nil {
-			if res, ok := r.Journal.lookup(jobKey(j.Cfg, j.Kernel.Name)); ok {
+			key := jobKey(j.Cfg, j.Kernel.Name)
+			if res, ok := r.Journal.lookup(key); ok {
 				r.cache[k] = res
+				r.setByKeyLocked(key, res)
 				continue
 			}
 		}
@@ -258,14 +264,16 @@ func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) ([]core.Result, 
 // finish publishes one completed run: journal first (synced to disk), then
 // cache + progress, so a crash between the two at worst recomputes nothing.
 func (r *Runner) finish(k runKey, res core.Result) error {
+	key := jobKey(k.cfg, k.bench)
 	if r.Journal != nil {
-		if err := r.Journal.record(jobKey(k.cfg, k.bench), res); err != nil {
+		if err := r.Journal.record(key, res); err != nil {
 			return err
 		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.cache[k] = res
+	r.setByKeyLocked(key, res)
 	r.runs++
 	// The progress write stays under the mutex: workers share r.Progress,
 	// and io.Writer implementations (bytes.Buffer, files with buffering)
@@ -288,15 +296,70 @@ func (r *Runner) Lookup(cfg core.Config, bench string) (core.Result, bool) {
 		return res, true
 	}
 	if r.Journal != nil {
-		if res, ok := r.Journal.lookup(jobKey(cfg, bench)); ok {
+		key := jobKey(cfg, bench)
+		if res, ok := r.Journal.lookup(key); ok {
 			if r.cache == nil {
 				r.cache = make(map[runKey]core.Result)
 			}
 			r.cache[k] = res
+			r.setByKeyLocked(key, res)
 			return res, true
 		}
 	}
 	return core.Result{}, false
+}
+
+// LookupKey returns the result stored under the given JobKey, consulting
+// the in-memory index and then the journal, without simulating. It is the
+// lookup cluster peers perform: the key is the content hash itself, so no
+// configuration needs to travel with the query.
+func (r *Runner) LookupKey(key string) (core.Result, bool) {
+	r.mu.Lock()
+	if res, ok := r.byKey[key]; ok {
+		r.mu.Unlock()
+		return res, true
+	}
+	r.mu.Unlock()
+	if r.Journal != nil {
+		if res, ok := r.Journal.Get(key); ok {
+			r.mu.Lock()
+			r.setByKeyLocked(key, res)
+			r.mu.Unlock()
+			return res, true
+		}
+	}
+	return core.Result{}, false
+}
+
+// Adopt stores a result computed elsewhere — a cluster peer that already
+// ran the job — into this runner's cache and journal without counting it
+// as a run. Determinism makes adoption safe: the same (config, benchmark)
+// produces the same Result bytes on every replica, and keeping Runs()
+// untouched preserves the zero-duplicate-runs accounting the cluster soaks
+// verify.
+func (r *Runner) Adopt(cfg core.Config, bench string, res core.Result) error {
+	key := jobKey(cfg, bench)
+	if r.Journal != nil {
+		if err := r.Journal.record(key, res); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cache == nil {
+		r.cache = make(map[runKey]core.Result)
+	}
+	r.cache[runKey{cfg: cfg, bench: bench}] = res
+	r.setByKeyLocked(key, res)
+	return nil
+}
+
+// setByKeyLocked indexes res under its JobKey; callers hold r.mu.
+func (r *Runner) setByKeyLocked(key string, res core.Result) {
+	if r.byKey == nil {
+		r.byKey = make(map[string]core.Result)
+	}
+	r.byKey[key] = res
 }
 
 // simulateRetry wraps simulate in the opt-in MaxRetries policy: only a

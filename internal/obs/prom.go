@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// PromWriter accumulates metrics in the Prometheus text exposition format
+// (version 0.0.4), hand-rolled on the stdlib so serving binaries need no
+// client library. ariserve and arigate both expose their /metrics through
+// it, which keeps the two endpoints' shapes consistent.
+//
+// The zero value is ready to use. Not safe for concurrent use; build one
+// per scrape.
+type PromWriter struct {
+	b strings.Builder
+}
+
+// Metric writes one unlabelled metric: HELP + TYPE header and its single
+// sample.
+func (p *PromWriter) Metric(name, help, typ string, v float64) {
+	p.Family(name, help, typ)
+	fmt.Fprintf(&p.b, "%s %g\n", name, v)
+}
+
+// Family writes the HELP + TYPE header for a labelled metric family;
+// follow with Sample calls for each label set.
+func (p *PromWriter) Family(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one sample of a labelled family declared with Family.
+// labels is the pre-formatted inner label list (e.g. `job="bfs/Ada-ARI"`);
+// empty emits an unlabelled sample.
+func (p *PromWriter) Sample(name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(&p.b, "%s %g\n", name, v)
+		return
+	}
+	fmt.Fprintf(&p.b, "%s{%s} %g\n", name, labels, v)
+}
+
+// Bool converts a flag to the 0/1 gauge convention.
+func Bool(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// String returns the accumulated exposition text.
+func (p *PromWriter) String() string { return p.b.String() }
+
+// ServeText writes the accumulated text to w with the exposition-format
+// content type.
+func (p *PromWriter) ServeText(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, p.b.String())
+}

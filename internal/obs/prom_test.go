@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterShapes(t *testing.T) {
+	var p PromWriter
+	p.Metric("ari_up", "Server is up.", "gauge", 1)
+	p.Family("ari_routed_total", "Requests routed per replica.", "counter")
+	p.Sample("ari_routed_total", fmt.Sprintf("replica=%q", "http://a:1"), 3)
+	p.Sample("ari_routed_total", "", 7)
+
+	got := p.String()
+	for _, want := range []string{
+		"# HELP ari_up Server is up.\n# TYPE ari_up gauge\nari_up 1\n",
+		"# HELP ari_routed_total Requests routed per replica.\n# TYPE ari_routed_total counter\n",
+		"ari_routed_total{replica=\"http://a:1\"} 3\n",
+		"\nari_routed_total 7\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPromWriterServeText(t *testing.T) {
+	var p PromWriter
+	p.Metric("x_total", "X.", "counter", 2)
+	rec := httptest.NewRecorder()
+	p.ServeText(rec)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 2") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+	if Bool(true) != 1 || Bool(false) != 0 {
+		t.Fatal("Bool mapping wrong")
+	}
+}

@@ -6,10 +6,12 @@
 // resubmitting the same request — even against a freshly restarted server —
 // costs at most one simulation, answered from the journal-backed store on
 // every subsequent attempt. The client therefore treats overload (429),
-// unavailability (503), gateway timeouts (502/504) and transport errors as
+// unavailability (503), timeouts (408/502/504) and transport errors as
 // retryable, backing off exponentially with jitter and honouring the
-// server's Retry-After; everything else (a 400 malformed job, a 500
-// deterministic simulation failure) is terminal.
+// server's Retry-After; everything else (the permanent-4xx family, a 500
+// deterministic simulation failure, an unparseable 200 body) is terminal.
+// Retry sleeps never outlive the caller: a wait that would cross ctx's
+// deadline gives up immediately, surfacing the last server error.
 package client
 
 import (
@@ -101,6 +103,17 @@ func (c *Client) Submit(ctx context.Context, req serve.JobRequest) (serve.JobRes
 			break
 		}
 		wait := c.backoff(attempt, err)
+		// Cap the sleep at the caller's deadline: a server Retry-After (or
+		// a late backoff step) longer than the time remaining would burn
+		// the whole budget asleep only to fail on wake. Give up now and
+		// surface the last server error instead of a bare deadline expiry.
+		if deadline, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(deadline); wait >= remaining {
+				return serve.JobResponse{}, fmt.Errorf(
+					"client: giving up after %d attempts: retry wait %s exceeds deadline (%s left): %w",
+					attempt+1, wait, remaining.Round(time.Millisecond), lastErr)
+			}
+		}
 		if c.OnRetry != nil {
 			c.OnRetry(attempt, err, wait)
 		}
@@ -146,23 +159,41 @@ func (c *Client) attempt(ctx context.Context, body []byte) (serve.JobResponse, e
 	if err != nil {
 		return serve.JobResponse{}, fmt.Errorf("client: read response: %w", err)
 	}
-	switch resp.StatusCode {
-	case http.StatusOK:
+	switch {
+	case resp.StatusCode == http.StatusOK:
 		var out serve.JobResponse
 		if err := json.Unmarshal(raw, &out); err != nil {
-			return serve.JobResponse{}, fmt.Errorf("client: decode response: %w", err)
+			// The body arrived complete (ReadAll above succeeded) but does
+			// not parse: resubmitting the same bytes yields the same
+			// garbage. Terminal, not worth a backoff schedule.
+			return serve.JobResponse{}, &terminalError{fmt.Errorf("client: decode response: %w", err)}
 		}
 		return out, nil
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
-		http.StatusBadGateway, http.StatusGatewayTimeout:
+	case retryableStatus(resp.StatusCode):
 		err := fmt.Errorf("client: server %s: %s", resp.Status, errBody(raw))
 		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
 			return serve.JobResponse{}, &retryAfterError{err: err, after: time.Duration(secs) * time.Second}
 		}
 		return serve.JobResponse{}, err
 	default:
+		// Every remaining 4xx is a permanent rejection of this request (a
+		// malformed job stays malformed on every retry) and a 5xx outside
+		// the retryable set is a deterministic server-side failure.
 		return serve.JobResponse{}, &terminalError{fmt.Errorf("client: server %s: %s", resp.Status, errBody(raw))}
 	}
+}
+
+// retryableStatus reports whether a response status can be fixed by
+// retrying: overload shedding, drain/unavailability, gateway timeouts, and
+// request timeouts. Everything else — the whole permanent-4xx family
+// included — is terminal.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout, http.StatusRequestTimeout:
+		return true
+	}
+	return false
 }
 
 // backoff computes the next wait: exponential from BaseBackoff with ±50%

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -132,6 +133,88 @@ func TestSubmitHonoursContextDuringBackoff(t *testing.T) {
 	}
 	if took := time.Since(start); took > 5*time.Second {
 		t.Fatalf("ctx cancellation ignored for %s", took)
+	}
+}
+
+func TestSubmitCapsRetryAfterAtDeadline(t *testing.T) {
+	// A server shedding with a Retry-After far beyond the caller's
+	// deadline: the client must give up promptly instead of sleeping the
+	// whole budget away (and then failing anyway).
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 8, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, serve.JobRequest{Bench: "bfs"})
+	took := time.Since(start)
+	if err == nil {
+		t.Fatal("submit against a permanently shedding server succeeded")
+	}
+	if IsTerminal(err) {
+		t.Fatalf("deadline-capped give-up reported terminal: %v", err)
+	}
+	if took > 5*time.Second {
+		t.Fatalf("client slept %s against a 1h Retry-After with a 150ms deadline", took)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (the retry wait already exceeded the deadline)", got)
+	}
+	if !strings.Contains(err.Error(), "exceeds deadline") {
+		t.Fatalf("error does not explain the give-up: %v", err)
+	}
+	if !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("error lost the last server failure: %v", err)
+	}
+}
+
+func TestSubmitTerminalOnPermanent4xx(t *testing.T) {
+	// The whole permanent-4xx family is terminal on the first attempt: a
+	// malformed job must not burn the backoff schedule.
+	for _, code := range []int{400, 403, 404, 405, 410, 422} {
+		ts, calls := scripted(t, []int{code})
+		_, err := fastClient(ts.URL).Submit(context.Background(), serve.JobRequest{Bench: "nope"})
+		if err == nil || !IsTerminal(err) {
+			t.Fatalf("%d not terminal: %v", code, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("%d retried: %d attempts", code, calls.Load())
+		}
+	}
+}
+
+func TestSubmitRetriesRequestTimeout(t *testing.T) {
+	ts, calls := scripted(t, []int{408, 200})
+	resp, err := fastClient(ts.URL).Submit(context.Background(), serve.JobRequest{Bench: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Key != "k" || calls.Load() != 2 {
+		t.Fatalf("408 handling: resp=%+v attempts=%d", resp, calls.Load())
+	}
+}
+
+func TestSubmitTerminalOnMalformedOKBody(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{not json"))
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL).Submit(context.Background(), serve.JobRequest{Bench: "bfs"})
+	if err == nil || !IsTerminal(err) {
+		t.Fatalf("malformed 200 body not terminal: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("malformed body retried: %d attempts", calls.Load())
 	}
 }
 

@@ -6,48 +6,40 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
-// format, hand-rolled on the stdlib: server admission/shed counters,
-// per-job progress from the run monitor (cycles, cycles/sec, ETA, watchdog
-// state), and process metrics from the Go runtime.
+// format via obs.PromWriter: server admission/shed counters, per-job
+// progress from the run monitor (cycles, cycles/sec, ETA, watchdog state),
+// and process metrics from the Go runtime.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	var b strings.Builder
+	var p obs.PromWriter
 	st := s.Stats()
 
-	writeMetric := func(name, help, typ string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
-	}
-	boolToF := func(v bool) float64 {
-		if v {
-			return 1
-		}
-		return 0
-	}
-
-	writeMetric("ari_jobs_admitted", "Jobs currently holding an admission slot (executing + waiting).", "gauge", float64(st.Admitted))
-	writeMetric("ari_jobs_completed_total", "Simulations finished by this process.", "counter", float64(st.Completed))
-	writeMetric("ari_jobs_cache_hits_total", "Submissions answered from the cache or journal.", "counter", float64(st.CacheHits))
-	writeMetric("ari_jobs_shed_total", "Submissions rejected with 429 because the queue was full.", "counter", float64(st.Shed))
-	writeMetric("ari_draining", "1 once admission is closed.", "gauge", boolToF(st.Draining))
-	writeMetric("ari_service_time_seconds", "EWMA of observed simulation wall time.", "gauge", st.ServiceTimeMs/1000)
-	writeMetric("ari_uptime_seconds", "Server process uptime.", "gauge", time.Since(s.started).Seconds())
-	writeMetric("ari_fault_events_total", "Injected NoC faults across all completed simulations.", "counter", float64(st.FaultEvents))
-	writeMetric("ari_recovered_packets_total", "Corrupted packets recovered by NACK retransmission across all completed simulations.", "counter", float64(st.RecoveredPackets))
+	p.Metric("ari_jobs_admitted", "Jobs currently holding an admission slot (executing + waiting).", "gauge", float64(st.Admitted))
+	p.Metric("ari_jobs_completed_total", "Simulations finished by this process.", "counter", float64(st.Completed))
+	p.Metric("ari_jobs_cache_hits_total", "Submissions answered from the cache or journal.", "counter", float64(st.CacheHits))
+	p.Metric("ari_jobs_peer_hits_total", "Submissions answered from a cluster peer's journal without running.", "counter", float64(st.PeerHits))
+	p.Metric("ari_jobs_shed_total", "Submissions rejected with 429 because the queue was full.", "counter", float64(st.Shed))
+	p.Metric("ari_draining", "1 once admission is closed.", "gauge", obs.Bool(st.Draining))
+	p.Metric("ari_service_time_seconds", "EWMA of observed simulation wall time.", "gauge", st.ServiceTimeMs/1000)
+	p.Metric("ari_uptime_seconds", "Server process uptime.", "gauge", time.Since(s.started).Seconds())
+	p.Metric("ari_fault_events_total", "Injected NoC faults across all completed simulations.", "counter", float64(st.FaultEvents))
+	p.Metric("ari_recovered_packets_total", "Corrupted packets recovered by NACK retransmission across all completed simulations.", "counter", float64(st.RecoveredPackets))
 
 	// Per-job progress, labelled by run identity. One gauge family per
 	// dimension, the Prometheus-idiomatic shape of the monitor's snapshot.
 	progress := s.monitor.Snapshot()
 	perJob := func(name, help string, read func(i int) float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-		for i, p := range progress {
-			fmt.Fprintf(&b, "%s{job=%q} %g\n", name, p.Name, read(i))
+		p.Family(name, help, "gauge")
+		for i, pr := range progress {
+			p.Sample(name, fmt.Sprintf("job=%q", pr.Name), read(i))
 		}
 	}
-	fmt.Fprintf(&b, "# HELP ari_jobs_running Simulations currently executing.\n# TYPE ari_jobs_running gauge\nari_jobs_running %d\n", len(progress))
+	p.Metric("ari_jobs_running", "Simulations currently executing.", "gauge", float64(len(progress)))
 	perJob("ari_job_progress_cycles", "Last reported NoC cycle of the run.", func(i int) float64 { return float64(progress[i].Cycle) })
 	perJob("ari_job_total_cycles", "Run horizon in cycles (warmup + measurement).", func(i int) float64 { return float64(progress[i].TotalCycles) })
 	perJob("ari_job_cycles_per_second", "Observed simulation rate.", func(i int) float64 { return progress[i].CyclesPerSec })
@@ -57,14 +49,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	writeMetric("go_goroutines", "Live goroutines.", "gauge", float64(runtime.NumGoroutine()))
-	writeMetric("go_heap_alloc_bytes", "Heap bytes allocated and in use.", "gauge", float64(ms.HeapAlloc))
-	writeMetric("go_sys_bytes", "Bytes obtained from the OS.", "gauge", float64(ms.Sys))
-	writeMetric("go_gc_runs_total", "Completed GC cycles.", "counter", float64(ms.NumGC))
-	writeMetric("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", "counter", float64(ms.PauseTotalNs)/1e9)
+	p.Metric("go_goroutines", "Live goroutines.", "gauge", float64(runtime.NumGoroutine()))
+	p.Metric("go_heap_alloc_bytes", "Heap bytes allocated and in use.", "gauge", float64(ms.HeapAlloc))
+	p.Metric("go_sys_bytes", "Bytes obtained from the OS.", "gauge", float64(ms.Sys))
+	p.Metric("go_gc_runs_total", "Completed GC cycles.", "counter", float64(ms.NumGC))
+	p.Metric("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.", "counter", float64(ms.PauseTotalNs)/1e9)
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, b.String())
+	p.ServeText(w)
 }
 
 // nocStateEntry is one job's entry in the /debug/nocstate response.

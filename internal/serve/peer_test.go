@@ -1,0 +1,155 @@
+// Peer result-fetch tests: a job journaled on replica A is served from
+// replica B through GET /v1/results/<key> without re-running, adopted into
+// B's own journal for durability; a replica partitioned from its peers
+// degrades to running jobs itself.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+// startPeerServer boots one replica over its own journal, optionally
+// pointed at peers.
+func startPeerServer(t *testing.T, base core.Config, journalPath string, peers []string) (*httptest.Server, *exp.Runner, *serve.Server) {
+	t.Helper()
+	j, err := exp.OpenJournal(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	r := &exp.Runner{Base: base, Journal: j}
+	s, err := serve.New(serve.Config{
+		Runner: r, MaxInFlight: 2, QueueDepth: 4,
+		Peers: peers, PeerTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, r, s
+}
+
+func submitJob(t *testing.T, url string, req serve.JobRequest) serve.JobResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit to %s: %s", url, resp.Status)
+	}
+	var out serve.JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestPeerFetchServesWithoutRerun(t *testing.T) {
+	base := core.DefaultConfig()
+	base.Scheme = core.AdaARI
+	base.WarmupCycles = 50
+	base.MeasureCycles = 150
+	dir := t.TempDir()
+
+	// Replica A computes the job.
+	tsA, rA, _ := startPeerServer(t, base, filepath.Join(dir, "a.jsonl"), nil)
+	respA := submitJob(t, tsA.URL, serve.JobRequest{Bench: "bfs"})
+	if respA.Cached || rA.Runs() != 1 {
+		t.Fatalf("replica A should have run the job: cached=%v runs=%d", respA.Cached, rA.Runs())
+	}
+
+	// The peer endpoint serves it by key; an unknown key is 404; POST is 405.
+	get, err := http.Get(tsA.URL + "/v1/results/" + respA.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetched serve.JobResponse
+	if err := json.NewDecoder(get.Body).Decode(&fetched); err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusOK || !fetched.Cached || fetched.Result.Benchmark != "bfs" {
+		t.Fatalf("peer endpoint: %s, %+v", get.Status, fetched)
+	}
+	if nf, err := http.Get(tsA.URL + "/v1/results/deadbeef"); err != nil || nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: %v %v", nf.Status, err)
+	} else {
+		nf.Body.Close()
+	}
+	if post, err := http.Post(tsA.URL+"/v1/results/x", "application/json", nil); err != nil || post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST on results: %v %v", post.Status, err)
+	} else {
+		post.Body.Close()
+	}
+
+	// Replica B, peered with A, serves the same job via peer fetch: zero
+	// local runs, the answer byte-identical, the record adopted durably.
+	bJournal := filepath.Join(dir, "b.jsonl")
+	tsB, rB, sB := startPeerServer(t, base, bJournal, []string{tsA.URL})
+	respB := submitJob(t, tsB.URL, serve.JobRequest{Bench: "bfs"})
+	if !respB.Cached || respB.Peer != tsA.URL {
+		t.Fatalf("replica B did not serve via peer fetch: %+v", respB)
+	}
+	if rB.Runs() != 0 {
+		t.Fatalf("replica B re-ran a peer-journaled job: %d runs", rB.Runs())
+	}
+	gotA, _ := json.Marshal(respA.Result)
+	gotB, _ := json.Marshal(respB.Result)
+	if string(gotA) != string(gotB) {
+		t.Fatalf("peer-fetched result diverged:\nA: %s\nB: %s", gotA, gotB)
+	}
+	if st := sB.Stats(); st.PeerHits != 1 {
+		t.Fatalf("PeerHits = %d, want 1", st.PeerHits)
+	}
+	// Adoption is durable: a fresh journal handle holds the key.
+	j2, err := exp.OpenJournal(bJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Get(respA.Key); !ok {
+		t.Fatal("replica B did not journal the adopted result")
+	}
+	// A later duplicate on B is a plain local cache hit, not a peer hit.
+	respB2 := submitJob(t, tsB.URL, serve.JobRequest{Bench: "bfs"})
+	if !respB2.Cached || respB2.Peer != "" {
+		t.Fatalf("duplicate after adoption went back to the peer: %+v", respB2)
+	}
+}
+
+func TestPeerPartitionFallsBackToLocalRun(t *testing.T) {
+	base := core.DefaultConfig()
+	base.Scheme = core.XYBaseline
+	base.WarmupCycles = 50
+	base.MeasureCycles = 150
+
+	// A peer URL that refuses connections: the replica must run locally,
+	// not fail or hang.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	ts, r, _ := startPeerServer(t, base, filepath.Join(t.TempDir(), "p.jsonl"), []string{deadURL})
+	start := time.Now()
+	resp := submitJob(t, ts.URL, serve.JobRequest{Bench: "bfs"})
+	if resp.Cached || resp.Peer != "" || r.Runs() != 1 {
+		t.Fatalf("partitioned replica did not run locally: %+v runs=%d", resp, r.Runs())
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("partitioned submit took %s", took)
+	}
+}

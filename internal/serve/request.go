@@ -61,6 +61,11 @@ type JobResponse struct {
 	Cached bool        `json:"cached"`
 	Result core.Result `json:"result"`
 
+	// Peer, when non-empty, names the cluster peer whose journal answered
+	// this submission (Cached is also set): the job was computed on another
+	// replica and adopted locally without re-running.
+	Peer string `json:"peer,omitempty"`
+
 	// Estimated reports that Result is empty and Estimate holds the
 	// analytical model's answer instead (estimate-mode requests only; a
 	// store hit answers with the exact Result even in estimate mode).
@@ -71,6 +76,14 @@ type JobResponse struct {
 // errorResponse is the body of every non-200 reply.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// BuildJob resolves a request against a base configuration into a
+// validated runner job — the same resolution the server applies, exported
+// so a routing front door (internal/cluster) derives the identical
+// exp.JobKey for consistent-hash placement.
+func BuildJob(base core.Config, q *JobRequest) (exp.Job, error) {
+	return buildJob(base, q)
 }
 
 // buildJob resolves a request against the server's base configuration into

@@ -26,15 +26,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/analytic"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/noc"
 	"repro/internal/obs"
@@ -62,6 +66,22 @@ type Config struct {
 	// selects the Runner's monitor, or a fresh one installed on the Runner
 	// (only when the Runner has none — an existing monitor is shared).
 	Monitor *obs.RunMonitor
+
+	// Peers lists sibling replica base URLs for cluster result sharing: on
+	// a store miss the server asks each peer's GET /v1/results/<key> before
+	// scheduling a simulation, so a job journaled on any replica is served
+	// from every replica without re-running. Peer errors are ignored — a
+	// replica partitioned from its peers degrades to serving its local
+	// journal and running jobs itself, never to failing them.
+	Peers []string
+
+	// PeerTimeout bounds the whole peer-fetch pass across all peers
+	// (default 1s). Keep it short: a dead peer must cost a connection
+	// refusal, not a hung submission.
+	PeerTimeout time.Duration
+
+	// PeerClient overrides the HTTP client used for peer fetches.
+	PeerClient *http.Client
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -74,6 +94,9 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	// CacheHits counts submissions answered from the cache or journal.
 	CacheHits int64 `json:"cache_hits"`
+	// PeerHits counts submissions answered from a cluster peer's journal
+	// via /v1/results, adopted locally without running.
+	PeerHits int64 `json:"peer_hits"`
 	// Estimated counts submissions answered by the analytical model
 	// (estimate-mode requests that missed the store).
 	Estimated int64 `json:"estimated"`
@@ -105,6 +128,9 @@ type Server struct {
 	mux         *http.ServeMux
 	monitor     *obs.RunMonitor
 	started     time.Time
+	peers       []string
+	peerTimeout time.Duration
+	peerClient  *http.Client
 
 	// rootCtx is cancelled by Abort: every in-flight run aborts at its
 	// next watchdog poll. This is the drain-deadline / simulated-crash path.
@@ -116,6 +142,7 @@ type Server struct {
 	ewma        time.Duration
 	completed   int64
 	cacheHits   int64
+	peerHits    int64
 	estimated   int64
 	shed        int64
 	faultEvents int64
@@ -156,6 +183,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Runner.Monitor == nil {
 		cfg.Runner.Monitor = monitor
 	}
+	peerTimeout := cfg.PeerTimeout
+	if peerTimeout <= 0 {
+		peerTimeout = time.Second
+	}
+	peerClient := cfg.PeerClient
+	if peerClient == nil {
+		peerClient = http.DefaultClient
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:      cfg.Runner,
@@ -164,11 +199,15 @@ func New(cfg Config) (*Server, error) {
 		work:        make(chan struct{}, maxInFlight),
 		monitor:     monitor,
 		started:     time.Now(),
+		peers:       cfg.Peers,
+		peerTimeout: peerTimeout,
+		peerClient:  peerClient,
 		rootCtx:     ctx,
 		abort:       cancel,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/results/", s.handleResults)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -249,6 +288,7 @@ func (s *Server) Stats() Stats {
 		Admitted:         len(s.queue),
 		Completed:        s.completed,
 		CacheHits:        s.cacheHits,
+		PeerHits:         s.peerHits,
 		Estimated:        s.estimated,
 		Shed:             s.shed,
 		Draining:         s.draining,
@@ -320,6 +360,27 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Peer result-fetch: before spending an admission slot on a simulation,
+	// ask the cluster peers whether the job is already journaled anywhere.
+	// A hit is adopted into the local store (journal + cache, not counted as
+	// a run) so the next duplicate is a plain local cache hit — and then
+	// served exactly like one. Peer errors fall through to a normal run:
+	// a partitioned replica keeps serving, it just stops sharing.
+	if len(s.peers) > 0 {
+		if res, peer, ok := s.peerFetch(r.Context(), key); ok {
+			if err := s.runner.Adopt(job.Cfg, job.Kernel.Name, res); err != nil {
+				// Journal write failure: still answer — the result is
+				// correct, only the local durability is degraded.
+				fmt.Fprintln(os.Stderr, "serve: adopt peer result:", err)
+			}
+			s.mu.Lock()
+			s.peerHits++
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Peer: peer, Result: res})
+			return
+		}
+	}
+
 	// Admission: shed instead of queueing unboundedly.
 	s.mu.Lock()
 	if s.draining {
@@ -376,6 +437,64 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.recovered += int64(results[0].Recovery.RetransPackets)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, JobResponse{Key: key, Result: results[0]})
+}
+
+// handleResults serves GET /v1/results/<key>: the peer result-sharing
+// endpoint. It answers strictly from the local store — cache and journal,
+// never by running — so it is cheap, side-effect free, and loop-free (a
+// peer answering a peer never fans out further). A replica keeps serving
+// this endpoint while draining: its journal outlives its admission.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/results/")
+	if key == "" || strings.Contains(key, "/") {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want /v1/results/<job key>"})
+		return
+	}
+	res, ok := s.runner.LookupKey(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job key"})
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Result: res})
+}
+
+// peerFetch asks each peer in turn for the journaled result of key, bounded
+// as a whole by PeerTimeout. First hit wins; every failure (refused
+// connection, 404, bad body) just moves on — peers are an optimisation,
+// never a dependency.
+func (s *Server) peerFetch(ctx context.Context, key string) (core.Result, string, bool) {
+	ctx, cancel := context.WithTimeout(ctx, s.peerTimeout)
+	defer cancel()
+	for _, peer := range s.peers {
+		if ctx.Err() != nil {
+			break
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/results/"+key, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := s.peerClient.Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		var out JobResponse
+		err = json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		return out.Result, peer, true
+	}
+	return core.Result{}, "", false
 }
 
 // writeRunError maps a failed run onto a status code: deadline expiry is
