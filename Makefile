@@ -21,7 +21,7 @@ test:
 # minimum, so the committed baseline uses the same min-of-N protocol as the
 # gate's fresh run.
 bench:
-	go test ./internal/noc ./internal/analytic ./internal/cluster . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite|GateRoute' -benchmem -count=3 \
+	go test ./internal/noc ./internal/analytic ./internal/cluster ./internal/obs . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite|GateRoute|HistogramObserve' -benchmem -count=3 \
 		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_$(DATE).json
 
 # benchdiff is the benchmark regression gate: re-run the NetworkStep and
@@ -30,7 +30,7 @@ bench:
 # min-of-N folding in benchdiff keeps the gate robust to scheduling noise
 # on shared CI machines.
 benchdiff:
-	go test ./internal/noc ./internal/analytic ./internal/cluster . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite|GateRoute' -benchmem -benchtime 0.5s -count=3 \
+	go test ./internal/noc ./internal/analytic ./internal/cluster ./internal/obs . -run '^$$' -bench 'NetworkStep|SimulatorStep|AnalyticSuite|GateRoute|HistogramObserve' -benchmem -benchtime 0.5s -count=3 \
 		| tee /dev/stderr | go run ./cmd/benchjson \
 		| go run ./cmd/benchdiff -baseline $(BASELINE)
 
@@ -88,14 +88,19 @@ loadtest:
 # obs runs the observability suites under vet + -race: registry/collector
 # semantics (incl. the allocation-free sampling guard), the Chrome-trace
 # schema fixture, the instrumented-vs-plain byte-identity lock, the
-# per-class NetStats counters, the decomposition golden, and the /metrics,
-# /debug/nocstate and pprof endpoint tests (DESIGN.md §10).
+# per-class NetStats counters, the decomposition + SLO-figure goldens, the
+# /metrics, /debug/nocstate and pprof endpoint tests (DESIGN.md §10), the
+# distributed-tracing suites (trace continuation, hedge propagation,
+# traced-vs-plain byte identity; DESIGN.md §15), and the 2-replica traced
+# cluster smoke: one gateway-routed job must export a single schema-valid
+# Chrome trace spanning gateway, replica and NoC packets.
 obs:
 	go vet ./internal/obs ./internal/serve/... ./internal/noc ./internal/exp
 	go test -race -count=1 ./internal/obs ./internal/stats
 	go test -race -count=1 ./internal/noc -run 'NetStats|VAGrant|Tracer'
-	go test -race -count=1 ./internal/exp -run 'Decompose'
-	go test -race -count=1 ./internal/serve -run 'Metrics|NoCState|Pprof|Observability'
+	go test -race -count=1 ./internal/exp -run 'Decompose|SLOFigure'
+	go test -race -count=1 ./internal/serve -run 'Metrics|NoCState|Pprof|Observability|Trace|ByteIdentical|DebugEndpoints'
+	go test -race -count=1 ./internal/cluster -run 'Trace|RetryAfter|Rollup|ClusterMetrics'
 
 # profile captures CPU and heap profiles of a representative simulation via
 # arisim's -cpuprofile/-memprofile flags; inspect with `go tool pprof`.

@@ -11,11 +11,15 @@
 //
 // API:
 //
-//	POST /v1/jobs   route a submission to its owner replicas
-//	GET  /v1/stats  routing/failover/hedge counters
-//	GET  /healthz   gateway liveness
-//	GET  /readyz    200 while >= 1 replica is routable, else 503
-//	GET  /metrics   Prometheus text: routing, per-replica health
+//	POST /v1/jobs          route a submission to its owner replicas
+//	GET  /v1/stats         routing/failover/hedge counters
+//	GET  /healthz          gateway liveness
+//	GET  /readyz           200 while >= 1 replica is routable, else 503
+//	GET  /metrics          Prometheus text: routing, per-replica health, SLO
+//	GET  /metrics/cluster  federated rollup of every live replica's /metrics
+//	GET  /debug/spans      recorded gateway spans (?trace= filters)
+//	GET  /debug/trace      merged gateway+replica Chrome trace for one trace ID
+//	GET  /debug/slo        route-latency burn-rate report (JSON)
 //
 // The gateway is stateless: routing is a pure function of the replica set,
 // so any number of arigate instances compute identical placement, and a
@@ -68,6 +72,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		threshold = fs.Int("breaker-threshold", 3, "consecutive failures opening a replica's circuit")
 		cycles    = fs.Int64("cycles", 10000, "default measured cycles (must match the replicas' base)")
 		warmup    = fs.Int64("warmup", 3000, "default warmup cycles (must match the replicas' base)")
+		traceSamp = fs.Int("trace-sample", 0, "start a distributed trace on every Nth routed job (0 disables; incoming X-Ari-Trace is always honoured)")
+		traceCap  = fs.Int("trace-cap", 0, "span-recorder ring capacity (0 = default)")
+		sloTarget = fs.Duration("slo-target", 2*time.Second, "route-latency SLO threshold")
+		sloGoal   = fs.Float64("slo-goal", 0.99, "route-latency SLO goal (fraction of routes within the target)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +102,10 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		HedgeAfter:       *hedge,
 		ProbeInterval:    *probe,
 		BreakerThreshold: *threshold,
+		TraceSample:      *traceSamp,
+		TraceCap:         *traceCap,
+		SLOTarget:        *sloTarget,
+		SLOGoal:          *sloGoal,
 	})
 	if err != nil {
 		return err

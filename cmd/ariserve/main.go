@@ -21,6 +21,9 @@
 //	                      (cycles, cycles/sec, ETA, watchdog state), runtime
 //	GET  /debug/nocstate  JSON NoC state snapshot of every in-flight job
 //	GET  /debug/pprof/    CPU/heap/goroutine profiling (net/http/pprof)
+//	GET  /debug/spans     recorded spans (?trace= filters by trace ID)
+//	GET  /debug/trace     Chrome trace of one trace ID (default: latest)
+//	GET  /debug/slo       job-latency burn-rate report (JSON)
 //
 // An overloaded server sheds submissions with 429 + Retry-After instead of
 // queueing unboundedly; SIGTERM/SIGINT stops admission, finishes in-flight
@@ -76,6 +79,12 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		retries  = fs.Int("retries", 1, "per-run retries for timed-out runs (transient contention)")
 		peers    = fs.String("peers", "", "comma-separated peer ariserve URLs: jobs journalled on a peer are adopted instead of re-run")
 		peerTO   = fs.Duration("peer-timeout", time.Second, "per-submission budget for the peer result-fetch")
+		traceS   = fs.Int("trace-sample", 0, "start a trace on every Nth un-traced submission (0 disables; incoming X-Ari-Trace is always honoured)")
+		tracePk  = fs.Int("trace-packets", 0, "max NoC packet spans linked per traced run (0 = default)")
+		pktSamp  = fs.Int("packet-sample", 0, "trace every Nth reply packet of a traced run (0 = default)")
+		process  = fs.String("process", "", "process name on exported spans (default ariserve)")
+		sloTgt   = fs.Duration("slo-target", 30*time.Second, "job-latency SLO threshold")
+		sloGoal  = fs.Float64("slo-goal", 0.99, "job-latency SLO goal (fraction of jobs within the target)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +118,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	s, err := serve.New(serve.Config{
 		Runner: r, MaxInFlight: *inflight, QueueDepth: *queue,
 		Peers: peerList, PeerTimeout: *peerTO,
+		TraceSample: *traceS, TracePackets: *tracePk, PacketSample: *pktSamp,
+		Process: *process, SLOTarget: *sloTgt, SLOGoal: *sloGoal,
 	})
 	if err != nil {
 		return err

@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -48,6 +50,23 @@ type Config struct {
 
 	// HTTPClient overrides the client used for proxying and probing.
 	HTTPClient *http.Client
+
+	// TraceSample enables distributed tracing for 1 in N submissions
+	// (0 disables minting traces; 1 traces everything). A submission that
+	// already carries a valid X-Ari-Trace header is always traced — the
+	// caller made the sampling decision.
+	TraceSample int
+
+	// TraceCap bounds the in-memory span recorder (obs.DefaultSpanCap
+	// when 0).
+	TraceCap int
+
+	// SLOTarget is the end-to-end routing-latency objective boundary
+	// (default 2s): a submission answered 2xx within it is a good event.
+	SLOTarget time.Duration
+
+	// SLOGoal is the objective's target good fraction (default 0.99).
+	SLOGoal float64
 }
 
 // Stats is a point-in-time snapshot of the gateway's counters.
@@ -94,6 +113,13 @@ type Gateway struct {
 	mux        *http.ServeMux
 	started    time.Time
 
+	spans       *obs.SpanRecorder
+	traceSample int
+	traceSeq    atomic.Int64
+	routeHist   obs.Histogram // end-to-end routing latency, µs
+	attemptHist obs.Histogram // per-proxied-attempt latency, µs
+	slo         *obs.SLOTracker
+
 	mu        sync.Mutex
 	requests  int64
 	shed      int64
@@ -125,15 +151,28 @@ func New(cfg Config) (*Gateway, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	target := cfg.SLOTarget
+	if target <= 0 {
+		target = 2 * time.Second
+	}
+	goal := cfg.SLOGoal
+	if goal <= 0 || goal >= 1 {
+		goal = 0.99
+	}
 	g := &Gateway{
-		base:       cfg.Base,
-		ring:       ring,
-		health:     NewHealth(ring.Replicas(), cfg.BreakerThreshold, cfg.ProbeInterval, hc),
-		repl:       repl,
-		hedgeAfter: hedge,
-		hc:         hc,
-		started:    time.Now(),
-		routed:     make(map[string]int64, len(cfg.Replicas)),
+		base:        cfg.Base,
+		ring:        ring,
+		health:      NewHealth(ring.Replicas(), cfg.BreakerThreshold, cfg.ProbeInterval, hc),
+		repl:        repl,
+		hedgeAfter:  hedge,
+		hc:          hc,
+		started:     time.Now(),
+		spans:       obs.NewSpanRecorder(cfg.TraceCap),
+		traceSample: cfg.TraceSample,
+		slo: obs.NewSLOTracker([]obs.Objective{
+			{Name: "route_latency", Threshold: target.Microseconds(), Goal: goal},
+		}),
+		routed: make(map[string]int64, len(cfg.Replicas)),
 	}
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("/v1/jobs", g.handleJobs)
@@ -143,6 +182,10 @@ func New(cfg Config) (*Gateway, error) {
 	})
 	g.mux.HandleFunc("/readyz", g.handleReady)
 	g.mux.HandleFunc("/metrics", g.handleMetrics)
+	g.mux.HandleFunc("/metrics/cluster", g.handleClusterMetrics)
+	g.mux.HandleFunc("/debug/spans", g.handleSpans)
+	g.mux.HandleFunc("/debug/trace", g.handleTrace)
+	g.mux.HandleFunc("/debug/slo", g.handleSLO)
 	return g, nil
 }
 
@@ -198,13 +241,18 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 // attemptResult is one proxied attempt's outcome.
 type attemptResult struct {
-	replica     string
-	hedged      bool
-	err         error // transport failure; status fields unset
-	status      int
-	retryAfter  int
-	contentType string
-	body        []byte
+	replica    string
+	hedged     bool
+	err        error // transport failure; status fields unset
+	status     int
+	retryAfter int
+	// retryAfterRaw is the replica's Retry-After header verbatim. The
+	// parsed integer only feeds the gateway's own max-of-owners shed hint;
+	// relays forward the raw value so HTTP-date (or otherwise unparseable)
+	// hints survive the proxy.
+	retryAfterRaw string
+	contentType   string
+	body          []byte
 }
 
 // handleJobs routes one submission: consistent-hash owners, healthy-first,
@@ -235,6 +283,30 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	key := exp.JobKey(job.Cfg, job.Kernel.Name)
 
+	// Distributed tracing: continue an incoming context or mint one for a
+	// sampled submission. The root span brackets the whole routing decision;
+	// its context is echoed to the client so a curl away from the gateway is
+	// enough to learn the trace ID to pull from /debug/trace.
+	start := time.Now()
+	tc, traced := g.traceContext(r)
+	var root obs.Span
+	recordRoot := func(outcome string) {
+		if !traced {
+			return
+		}
+		traced = false // record exactly once per request
+		root.End()
+		root.SetAttr("outcome", outcome)
+		g.spans.Record(root)
+	}
+	if traced {
+		root = obs.StartSpan(tc.Trace, tc.Span, "gateway.route", "arigate")
+		root.SetAttr("bench", job.Kernel.Name)
+		root.SetAttr("key", key)
+		w.Header().Set(obs.TraceHeader, obs.TraceContext{Trace: root.Trace, Span: root.ID}.String())
+		defer recordRoot("abandoned") // client gone before an answer
+	}
+
 	owners := g.ring.Owners(key, g.repl)
 	cands := owners[:0]
 	for _, o := range owners {
@@ -246,7 +318,9 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	g.requests++
 	g.mu.Unlock()
 	if len(cands) == 0 {
-		g.shedOne(w, 0)
+		recordRoot("shed")
+		g.slo.Fail()
+		g.shedOne(w, 0, "")
 		return
 	}
 
@@ -266,7 +340,40 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 		g.mu.Lock()
 		g.routed[rep]++
 		g.mu.Unlock()
-		go func() { results <- g.forward(ctx, rep, body, hedged) }()
+		// Each attempt gets its own child span and propagates it to the
+		// replica, so the replica's spans parent under the attempt that
+		// reached it — hedge legs share the trace ID but not span IDs.
+		var att obs.Span
+		var attCtx string
+		if root.Trace != "" {
+			att = obs.StartSpan(root.Trace, root.ID, "gateway.attempt", "arigate")
+			att.SetAttr("replica", rep)
+			if hedged {
+				att.SetAttr("hedged", "true")
+			}
+			attCtx = obs.TraceContext{Trace: att.Trace, Span: att.ID}.String()
+		}
+		go func() {
+			t0 := time.Now()
+			res := g.forward(ctx, rep, body, hedged, attCtx)
+			g.attemptHist.ObserveDuration(time.Since(t0))
+			if att.Trace != "" {
+				// The span closes here even when this leg lost the race and
+				// was cancelled: a hedge's loser leaves a span marked
+				// cancelled, never a dangling one.
+				att.End()
+				if res.err != nil {
+					att.SetAttr("error", res.err.Error())
+					if ctx.Err() != nil {
+						att.SetAttr("cancelled", "true")
+					}
+				} else {
+					att.SetAttr("status", strconv.Itoa(res.status))
+				}
+				g.spans.Record(att)
+			}
+			results <- res
+		}()
 		return true
 	}
 	launch(false)
@@ -279,6 +386,7 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	maxRetryAfter := 0
+	rawRetryAfter := ""
 	for pending > 0 {
 		select {
 		case res := <-results:
@@ -305,6 +413,9 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 					g.hedgeWins++
 					g.mu.Unlock()
 				}
+				g.routeHist.ObserveDuration(time.Since(start))
+				g.slo.Observe(time.Since(start).Microseconds())
+				recordRoot("ok")
 				relay(w, res)
 				return
 			case res.status == http.StatusTooManyRequests ||
@@ -313,8 +424,14 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 				res.status == http.StatusGatewayTimeout:
 				// The owner is alive but shedding or draining: degrade
 				// sideways to the next owner before degrading to a shed.
+				// Keep every hint the owners offered: the max parsed delay,
+				// and failing any parseable one, the last raw header — an
+				// HTTP-date hint must reach the client, not vanish here.
 				if res.retryAfter > maxRetryAfter {
 					maxRetryAfter = res.retryAfter
+				}
+				if res.retryAfter == 0 && res.retryAfterRaw != "" {
+					rawRetryAfter = res.retryAfterRaw
 				}
 				if launch(false) {
 					g.mu.Lock()
@@ -325,6 +442,10 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 				// Deterministic rejection (malformed job, simulation
 				// failure): identical on every replica, so relay verbatim —
 				// failing over would only duplicate the failure.
+				if res.status >= 500 {
+					g.slo.Fail()
+				}
+				recordRoot("rejected " + strconv.Itoa(res.status))
 				relay(w, res)
 				return
 			}
@@ -341,11 +462,15 @@ func (g *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	// Every owner of this key is down or shedding: shed with the most
 	// pessimistic Retry-After any owner offered.
-	g.shedOne(w, maxRetryAfter)
+	recordRoot("shed")
+	g.slo.Fail()
+	g.shedOne(w, maxRetryAfter, rawRetryAfter)
 }
 
 // forward performs one proxied POST /v1/jobs round trip to replica.
-func (g *Gateway) forward(ctx context.Context, replica string, body []byte, hedged bool) attemptResult {
+// traceCtx, when non-empty, is the attempt's X-Ari-Trace value — the replica
+// parents its spans under this attempt.
+func (g *Gateway) forward(ctx context.Context, replica string, body []byte, hedged bool, traceCtx string) attemptResult {
 	out := attemptResult{replica: replica, hedged: hedged}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, replica+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
@@ -353,6 +478,9 @@ func (g *Gateway) forward(ctx context.Context, replica string, body []byte, hedg
 		return out
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceCtx != "" {
+		req.Header.Set(obs.TraceHeader, traceCtx)
+	}
 	resp, err := g.hc.Do(req)
 	if err != nil {
 		out.err = err
@@ -367,33 +495,42 @@ func (g *Gateway) forward(ctx context.Context, replica string, body []byte, hedg
 	out.status = resp.StatusCode
 	out.contentType = resp.Header.Get("Content-Type")
 	out.body = raw
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+	out.retryAfterRaw = resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(out.retryAfterRaw); err == nil && secs > 0 {
 		out.retryAfter = secs
 	}
 	return out
 }
 
-// shedOne answers one unroutable submission with 429 + Retry-After.
-func (g *Gateway) shedOne(w http.ResponseWriter, retryAfter int) {
+// shedOne answers one unroutable submission with 429 + Retry-After: the max
+// parsed delay the owners offered, or failing that their raw (HTTP-date)
+// hint verbatim, or the 1s floor.
+func (g *Gateway) shedOne(w http.ResponseWriter, retryAfter int, raw string) {
 	g.mu.Lock()
 	g.shed++
 	g.mu.Unlock()
-	if retryAfter < 1 {
-		retryAfter = 1
+	switch {
+	case retryAfter >= 1:
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	case raw != "":
+		w.Header().Set("Retry-After", raw)
+	default:
+		w.Header().Set("Retry-After", "1")
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	writeError(w, http.StatusTooManyRequests, "all owners of this job are down or shedding")
 }
 
-// relay copies one replica answer to the client verbatim.
+// relay copies one replica answer to the client verbatim. Retry-After is
+// forwarded as the replica sent it — re-serialising the parsed integer would
+// drop HTTP-date hints.
 func relay(w http.ResponseWriter, res attemptResult) {
 	ct := res.contentType
 	if ct == "" {
 		ct = "application/json"
 	}
 	w.Header().Set("Content-Type", ct)
-	if res.retryAfter > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
+	if res.retryAfterRaw != "" {
+		w.Header().Set("Retry-After", res.retryAfterRaw)
 	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)

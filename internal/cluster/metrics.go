@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"fmt"
 	"net/http"
 	"time"
 
@@ -22,16 +21,24 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	p.Family("arigate_replica_up", "Whether the replica's circuit is closed (routable).", "gauge")
 	for _, r := range st.Replicas {
-		p.Sample("arigate_replica_up", fmt.Sprintf("replica=%q", r.URL), obs.Bool(r.Up))
+		p.Sample("arigate_replica_up", obs.Labels("replica", r.URL), obs.Bool(r.Up))
 	}
 	p.Family("arigate_replica_routed_total", "Attempts sent to the replica.", "counter")
 	for _, r := range st.Replicas {
-		p.Sample("arigate_replica_routed_total", fmt.Sprintf("replica=%q", r.URL), float64(r.Routed))
+		p.Sample("arigate_replica_routed_total", obs.Labels("replica", r.URL), float64(r.Routed))
 	}
 	p.Family("arigate_replica_failures_total", "Probe and proxy failures observed for the replica.", "counter")
 	for _, r := range st.Replicas {
-		p.Sample("arigate_replica_failures_total", fmt.Sprintf("replica=%q", r.URL), float64(r.Failures))
+		p.Sample("arigate_replica_failures_total", obs.Labels("replica", r.URL), float64(r.Failures))
 	}
+
+	p.Histogram("arigate_route_seconds", "End-to-end routing latency of answered submissions.",
+		g.routeHist.Snapshot(), 1e-6)
+	p.Histogram("arigate_attempt_seconds", "Latency of individual proxied attempts (including failed and cancelled legs).",
+		g.attemptHist.Snapshot(), 1e-6)
+	g.slo.Report().WriteMetrics(&p, "arigate")
+
+	p.Metric("arigate_trace_spans", "Spans held in the in-memory recorder.", "gauge", float64(g.spans.Len()))
 	p.Metric("arigate_uptime_seconds", "Seconds since the gateway started.", "gauge", time.Since(g.started).Seconds())
 	p.ServeText(w)
 }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cluster metrics federation: GET /metrics/cluster scrapes every replica's
+// /metrics, relabels each sample with replica="<url>", and serves the union
+// as one exposition document — one scrape target covers the whole cluster.
+// HELP/TYPE headers are deduplicated across replicas (every replica emits
+// identical families); ari_cluster_scrape_up reports which replicas
+// answered.
+
+// handleClusterMetrics serves the federated rollup of all replica scrapes.
+func (g *Gateway) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	replicas := g.ring.Replicas()
+	bodies := make([]string, len(replicas))
+	var wg sync.WaitGroup
+	for i, rep := range replicas {
+		wg.Add(1)
+		go func(i int, rep string) {
+			defer wg.Done()
+			bodies[i] = g.scrapeReplica(ctx, rep)
+		}(i, rep)
+	}
+	wg.Wait()
+
+	var p obs.PromWriter
+	p.Family("ari_cluster_scrape_up", "Whether the replica answered the federated scrape.", "gauge")
+	for i, rep := range replicas {
+		p.Sample("ari_cluster_scrape_up", obs.Labels("replica", rep), obs.Bool(bodies[i] != ""))
+	}
+	seenHeader := make(map[string]bool)
+	for i, rep := range replicas {
+		if bodies[i] == "" {
+			continue
+		}
+		relabelExposition(&p, bodies[i], obs.Labels("replica", rep), seenHeader)
+	}
+	p.ServeText(w)
+}
+
+// scrapeReplica fetches one replica's /metrics ("" on any failure).
+func (g *Gateway) scrapeReplica(ctx context.Context, replica string) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, replica+"/metrics", nil)
+	if err != nil {
+		return ""
+	}
+	resp, err := g.hc.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return ""
+	}
+	return string(raw)
+}
+
+// relabelExposition copies one exposition document into p, injecting label
+// into every sample line. Comment lines (# HELP / # TYPE) pass through once
+// per family across all replicas; malformed lines are dropped.
+func relabelExposition(p *obs.PromWriter, body, label string, seenHeader map[string]bool) {
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// "# HELP name ..." / "# TYPE name ..." — dedup per (kind, name).
+			f := strings.Fields(line)
+			if len(f) < 3 {
+				continue
+			}
+			key := f[1] + " " + f[2]
+			if seenHeader[key] {
+				continue
+			}
+			seenHeader[key] = true
+			p.Raw(line)
+			continue
+		}
+		if rl, ok := relabelSample(line, label); ok {
+			p.Raw(rl)
+		}
+	}
+}
+
+// relabelSample injects the label pair(s) into one sample line. Insertion
+// happens right after the metric name (before any existing label list), so
+// no quote-aware scan of the existing labels is needed.
+func relabelSample(line, label string) (string, bool) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", false
+	}
+	if line[i] == ' ' {
+		return line[:i] + "{" + label + "}" + line[i:], true
+	}
+	if i+1 < len(line) && line[i+1] == '}' { // empty label set: name{} value
+		return line[:i+1] + label + line[i+1:], true
+	}
+	return line[:i+1] + label + "," + line[i+1:], true
+}

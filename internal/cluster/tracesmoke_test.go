@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// smokeSchema mirrors internal/obs/testdata/chrome_trace_schema.json — the
+// merged cluster trace must satisfy the same trace_event contract the
+// single-process exporters do.
+type smokeSchema struct {
+	TopLevelRequired        []string            `json:"top_level_required"`
+	AllowedDisplayTimeUnits []string            `json:"allowed_display_time_units"`
+	EventRequired           []string            `json:"event_required"`
+	AllowedPhases           []string            `json:"allowed_phases"`
+	PhaseRequired           map[string][]string `json:"phase_required"`
+}
+
+// startRealReplica runs a real ariserve handler with fast horizons.
+func startRealReplica(t *testing.T, process string) *httptest.Server {
+	t.Helper()
+	base := core.DefaultConfig()
+	base.WarmupCycles = 200
+	base.MeasureCycles = 600
+	k, err := trace.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{
+		Runner:       &exp.Runner{Base: base, Benchmarks: []trace.Kernel{k}},
+		PacketSample: 1,
+		Process:      process,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClusterTracedSmoke is the tentpole acceptance check: a gateway-routed
+// job against two real replicas, traced end to end, must export ONE Chrome
+// trace containing gateway spans, replica spans, and NoC packet spans, all
+// sharing one trace ID, valid against the checked-in schema fixture.
+// `make obs` runs it as the cluster observability smoke.
+func TestClusterTracedSmoke(t *testing.T) {
+	raw, err := os.ReadFile("../obs/testdata/chrome_trace_schema.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema smokeSchema
+	if err := json.Unmarshal(raw, &schema); err != nil {
+		t.Fatalf("schema fixture unparsable: %v", err)
+	}
+
+	a := startRealReplica(t, "ariserve-a")
+	b := startRealReplica(t, "ariserve-b")
+	base := core.DefaultConfig()
+	base.WarmupCycles = 200
+	base.MeasureCycles = 600
+	g := gateFor(t, Config{Base: base, Replicas: []string{a.URL, b.URL}, TraceSample: 1})
+	gts := httptest.NewServer(g)
+	defer gts.Close()
+
+	resp, err := http.Post(gts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"bench":"bfs"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed submit: %d %s", resp.StatusCode, body)
+	}
+	tc, ok := obs.ParseTraceContext(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("no trace context on routed response (header %q)", resp.Header.Get(obs.TraceHeader))
+	}
+
+	// Pull the merged trace from the gateway (it federates the replicas'
+	// /debug/spans for this trace ID).
+	resp, err = http.Get(gts.URL + "/debug/trace?trace=" + tc.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace: %d %s", resp.StatusCode, doc)
+	}
+
+	// Schema validation.
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &top); err != nil {
+		t.Fatalf("merged trace not JSON: %v", err)
+	}
+	for _, k := range schema.TopLevelRequired {
+		if _, ok := top[k]; !ok {
+			t.Fatalf("merged trace missing top-level %q", k)
+		}
+	}
+	var unit string
+	json.Unmarshal(top["displayTimeUnit"], &unit)
+	if !containsStr(schema.AllowedDisplayTimeUnits, unit) {
+		t.Fatalf("displayTimeUnit %q not allowed", unit)
+	}
+	var events []map[string]json.RawMessage
+	if err := json.Unmarshal(top["traceEvents"], &events); err != nil {
+		t.Fatal(err)
+	}
+
+	// One timeline: gateway, replica and NoC packet spans under one trace ID.
+	layers := map[string]bool{}
+	for i, ev := range events {
+		for _, k := range schema.EventRequired {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event %d missing %q", i, k)
+			}
+		}
+		var ph, name string
+		json.Unmarshal(ev["ph"], &ph)
+		json.Unmarshal(ev["name"], &name)
+		if !containsStr(schema.AllowedPhases, ph) {
+			t.Fatalf("event %d phase %q not allowed", i, ph)
+		}
+		if ph != "X" {
+			continue
+		}
+		for _, k := range schema.PhaseRequired["X"] {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("X event %d missing %q", i, k)
+			}
+		}
+		var args map[string]any
+		json.Unmarshal(ev["args"], &args)
+		if args["trace"] != tc.Trace {
+			t.Fatalf("event %q trace = %v, want %s", name, args["trace"], tc.Trace)
+		}
+		switch {
+		case name == "gateway.route" || name == "gateway.attempt":
+			layers["gateway"] = true
+		case strings.HasPrefix(name, "serve."):
+			layers["replica"] = true
+		case strings.HasPrefix(name, "pkt "):
+			layers["noc"] = true
+		}
+	}
+	for _, layer := range []string{"gateway", "replica", "noc"} {
+		if !layers[layer] {
+			t.Fatalf("merged trace missing the %s layer (layers=%v):\n%s", layer, layers, doc)
+		}
+	}
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

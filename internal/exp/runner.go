@@ -79,6 +79,12 @@ type Runner struct {
 	// simulated behaviour — results are cached and journalled under the
 	// assumption that a config determines its Result byte-identically.
 	Instrument func(*core.Simulator)
+	// InstrumentJob is Instrument with the job identity alongside the
+	// simulator, for per-request attachments: the serving layer hooks
+	// distributed-trace packet collectors onto exactly the run a traced
+	// submission is waiting on. Called after Instrument. The same contract
+	// applies — observe only, never alter simulated behaviour.
+	InstrumentJob func(Job, *core.Simulator)
 
 	mu    sync.Mutex
 	cache map[runKey]core.Result
@@ -415,6 +421,9 @@ func (r *Runner) simulate(ctx context.Context, j Job) (res core.Result, err erro
 	defer sim.Close()
 	if r.Instrument != nil {
 		r.Instrument(sim)
+	}
+	if r.InstrumentJob != nil {
+		r.InstrumentJob(j, sim)
 	}
 	if r.Monitor != nil {
 		st := r.Monitor.Begin(name, j.Cfg.Scheme.String(), j.Cfg.WarmupCycles+j.Cfg.MeasureCycles)

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of finite log2-scaled buckets: bucket 0 holds
+// values <= 0 and 1, bucket i (i >= 1) holds values in [2^(i-1), 2^i - 1].
+// 48 buckets cover up to ~2.8e14 units — with microsecond units that is
+// ~8.9 years of latency, with cycle units any simulation horizon we run.
+const HistBuckets = 48
+
+// Histogram is a fixed-bucket log-scaled latency histogram. Observe is
+// allocation-free and safe for concurrent use (a single atomic add per
+// bucket), so it sits on serving hot paths; buckets are powers of two, so
+// the bucket index is one bits.Len64. Values are unit-agnostic int64s —
+// the serving layer observes microseconds, the simulation layer cycles —
+// and the Prometheus rendering scales them to seconds at exposition time.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [HistBuckets]atomic.Uint64
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v)) // 0 for 0; values 2^(i-1)..2^i-1 -> i
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d / time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot returns a point-in-time copy for reading. Buckets are read
+// individually, so a snapshot taken under concurrent Observe traffic may be
+// off by the in-flight observations — fine for monitoring, and the only
+// readers are scrape/report paths.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram.
+type HistSnapshot struct {
+	Counts [HistBuckets]uint64
+	Sum    int64
+	Count  uint64
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (2^i - 1; the
+// last bucket absorbs everything above).
+func BucketBound(i int) int64 {
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Mean returns the mean observation (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) estimated by linear
+// interpolation inside the containing bucket — the standard
+// log-bucket-histogram estimate, exact to within a factor of 2.
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := float64(bucketLow(i)), float64(BucketBound(i))
+			if next == cum { // unreachable (c > 0), keeps the division safe
+				return hi
+			}
+			return lo + (hi-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return float64(BucketBound(HistBuckets - 1))
+}
+
+// Compliance returns the fraction of observations at or below threshold,
+// interpolating inside the bucket that straddles it. This is the SLI behind
+// latency objectives ("p99 of replies within N cycles" is equivalently
+// "Compliance(N) >= 0.99").
+func (s *HistSnapshot) Compliance(threshold int64) float64 {
+	if s.Count == 0 {
+		return 1
+	}
+	var good float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketLow(i), BucketBound(i)
+		switch {
+		case hi <= threshold:
+			good += float64(c)
+		case lo > threshold:
+			// buckets are ordered; nothing above contributes
+			return good / float64(s.Count)
+		default:
+			width := float64(hi-lo) + 1
+			good += float64(c) * (float64(threshold-lo) + 1) / width
+		}
+	}
+	return good / float64(s.Count)
+}
+
+// bucketLow returns the inclusive lower bound of bucket i.
+func bucketLow(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << uint(i-1)
+}
+
+// Histogram renders a snapshot as a real Prometheus histogram family:
+// cumulative <name>_bucket{le="..."} samples, <name>_sum and <name>_count.
+// unitSeconds converts one histogram unit to seconds (1e-6 for microsecond
+// histograms); le bounds and the sum are emitted in seconds per the
+// Prometheus convention. Empty trailing buckets are elided (le="+Inf"
+// always closes the family).
+func (p *PromWriter) Histogram(name, help string, s HistSnapshot, unitSeconds float64) {
+	p.Family(name, help, "histogram")
+	last := 0
+	for i, c := range s.Counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += s.Counts[i]
+		le := float64(BucketBound(i)) * unitSeconds
+		p.Sample(name+"_bucket", `le="`+formatFloat(le)+`"`, float64(cum))
+	}
+	p.Sample(name+"_bucket", `le="+Inf"`, float64(s.Count))
+	p.Sample(name+"_sum", "", float64(s.Sum)*unitSeconds)
+	p.Sample(name+"_count", "", float64(s.Count))
+}

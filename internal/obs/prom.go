@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -39,6 +40,65 @@ func (p *PromWriter) Sample(name, labels string, v float64) {
 		return
 	}
 	fmt.Fprintf(&p.b, "%s{%s} %g\n", name, labels, v)
+}
+
+// EscapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and newline are the only characters the
+// format defines escapes for (`\\`, `\"`, `\n`). fmt's %q is NOT a valid
+// substitute — Go escaping emits sequences like \t and é that a
+// Prometheus parser reads as a literal backslash followed by text.
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Labels renders alternating name/value pairs as an escaped inner label
+// list for Sample, e.g. Labels("job", name) -> `job="bfs/Ada-ARI"`.
+// It panics on an odd number of arguments (a programming error, caught by
+// any test that renders the family).
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: Labels needs name/value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// Raw appends one pre-formatted exposition line verbatim (the federation
+// rollup relays relabelled replica samples through here).
+func (p *PromWriter) Raw(line string) {
+	p.b.WriteString(line)
+	p.b.WriteByte('\n')
+}
+
+// formatFloat renders a float the way the Sample/Metric writers do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Bool converts a flag to the 0/1 gauge convention.

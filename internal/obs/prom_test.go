@@ -27,6 +27,55 @@ func TestPromWriterShapes(t *testing.T) {
 	}
 }
 
+func TestEscapeLabelHostileValues(t *testing.T) {
+	// The exposition format defines exactly three escapes: \\ , \" and \n.
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`say "hi"`, `say \"hi\"`},
+		{`back\slash`, `back\\slash`},
+		{"two\nlines", `two\nlines`},
+		{"all \"of\\ it\n", `all \"of\\ it\n`},
+		// Characters %q would mangle must pass through untouched.
+		{"tab\thère", "tab\thère"},
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLabelsEscapesAndPairs(t *testing.T) {
+	got := Labels("job", "bfs\n\"x\"\\", "replica", "http://a:1")
+	want := `job="bfs\n\"x\"\\",replica="http://a:1"`
+	if got != want {
+		t.Fatalf("Labels = %s, want %s", got, want)
+	}
+
+	var p PromWriter
+	p.Family("ari_job", "Per-job gauge.", "gauge")
+	p.Sample("ari_job", Labels("job", "he said \"run\"\nnow\\"), 1)
+	line := `ari_job{job="he said \"run\"\nnow\\"} 1`
+	if !strings.Contains(p.String(), line+"\n") {
+		t.Fatalf("exposition missing %s:\n%s", line, p.String())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd Labels arity did not panic")
+		}
+	}()
+	Labels("lonely")
+}
+
+func TestPromWriterRaw(t *testing.T) {
+	var p PromWriter
+	p.Raw(`x_total{replica="http://a:1"} 3`)
+	if got := p.String(); got != "x_total{replica=\"http://a:1\"} 3\n" {
+		t.Fatalf("Raw = %q", got)
+	}
+}
+
 func TestPromWriterServeText(t *testing.T) {
 	var p PromWriter
 	p.Metric("x_total", "X.", "counter", 2)

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an SLOTracker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testTracker(objs []Objective) (*SLOTracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	windows := []time.Duration{10 * time.Second, time.Minute, 5 * time.Minute}
+	return newSLOTracker(objs, windows, time.Second, clk.now), clk
+}
+
+func TestSLOComplianceAndBurn(t *testing.T) {
+	obj := Objective{Name: "p99_fast", Threshold: 100, Goal: 0.9}
+	tr, clk := testTracker([]Objective{obj})
+
+	// 8 good, 2 bad: compliance 0.8, error rate 0.2, burn 0.2/0.1 = 2.
+	for i := 0; i < 8; i++ {
+		tr.Observe(50)
+	}
+	tr.Observe(500)
+	tr.Fail()
+
+	rep := tr.Report()
+	st := rep.Objectives[0]
+	if st.Total != 10 || st.Good != 8 {
+		t.Fatalf("good/total = %d/%d", st.Good, st.Total)
+	}
+	if st.Compliance != 0.8 {
+		t.Fatalf("compliance = %v", st.Compliance)
+	}
+	for _, w := range st.Windows {
+		if w.Events != 10 || w.ErrorRate != 0.2 || math.Abs(w.BurnRate-2) > 1e-9 {
+			t.Fatalf("window %s = %+v", w.Window, w)
+		}
+	}
+	if st.Alerting {
+		t.Fatal("burn 2 must not page")
+	}
+
+	// Advance past the short window: its burn decays to 0, the long window
+	// still remembers, lifetime compliance is untouched.
+	clk.advance(30 * time.Second)
+	rep = tr.Report()
+	st = rep.Objectives[0]
+	if st.Compliance != 0.8 {
+		t.Fatalf("lifetime compliance drifted: %v", st.Compliance)
+	}
+	if w := st.Windows[0]; w.Events != 0 || w.BurnRate != 0 {
+		t.Fatalf("expired short window = %+v", w)
+	}
+	if w := st.Windows[1]; w.Events != 10 || math.Abs(w.BurnRate-2) > 1e-9 {
+		t.Fatalf("long window = %+v", w)
+	}
+}
+
+func TestSLOMultiWindowAlert(t *testing.T) {
+	obj := Objective{Name: "tail", Threshold: 10, Goal: 0.99} // budget 0.01
+	tr, clk := testTracker([]Objective{obj})
+
+	// 100% errors: burn = 1/0.01 = 100 on every window -> page.
+	for i := 0; i < 20; i++ {
+		tr.Fail()
+	}
+	if st := tr.Report().Objectives[0]; !st.Alerting {
+		t.Fatalf("total outage did not page: %+v", st)
+	}
+
+	// After the short window drains the page clears, even though the long
+	// window still burns — the incident is over.
+	clk.advance(15 * time.Second)
+	if st := tr.Report().Objectives[0]; st.Alerting {
+		t.Fatalf("page stuck after short window drained: %+v", st)
+	}
+}
+
+func TestSLOIdleServiceInSLO(t *testing.T) {
+	tr, _ := testTracker([]Objective{{Name: "x", Threshold: 1, Goal: 0.999}})
+	st := tr.Report().Objectives[0]
+	if st.Compliance != 1 || st.Alerting {
+		t.Fatalf("idle tracker out of SLO: %+v", st)
+	}
+}
+
+func TestSLORingLapReset(t *testing.T) {
+	obj := Objective{Name: "x", Threshold: 100, Goal: 0.9}
+	tr, clk := testTracker([]Objective{obj})
+	tr.Fail()
+	// A whole ring lap later the stale slot must not resurrect.
+	clk.advance(10 * time.Minute)
+	tr.Observe(1)
+	st := tr.Report().Objectives[0]
+	if w := st.Windows[2]; w.Events != 1 || w.ErrorRate != 0 {
+		t.Fatalf("stale slot leaked into window: %+v", w)
+	}
+}
+
+func TestSLOReportMetrics(t *testing.T) {
+	tr, _ := testTracker([]Objective{{Name: `odd"name`, Threshold: 10, Goal: 0.9}})
+	tr.Observe(5)
+	var p PromWriter
+	tr.Report().WriteMetrics(&p, "ari")
+	got := p.String()
+	for _, want := range []string{
+		`ari_slo_compliance{objective="odd\"name"} 1`,
+		`ari_slo_burn_rate{objective="odd\"name",window="10s"} 0`,
+		`ari_slo_alerting{objective="odd\"name"} 0`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSLOTrackerConcurrent(t *testing.T) {
+	tr := NewSLOTracker([]Objective{{Name: "x", Threshold: 100, Goal: 0.99}})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe(int64(i))
+				if i%10 == 0 {
+					tr.Fail()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Report().Objectives[0]
+	if st.Total != 8*550 {
+		t.Fatalf("total = %d, want %d", st.Total, 8*550)
+	}
+}

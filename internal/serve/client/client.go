@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -52,6 +53,13 @@ type Client struct {
 	// OnRetry, when non-nil, observes each retry decision (tests,
 	// verbose sweeps).
 	OnRetry func(attempt int, err error, wait time.Duration)
+
+	// Trace, when non-empty, is sent as the X-Ari-Trace header on every
+	// attempt, propagating a distributed-trace context ("<trace>-<span>")
+	// into the server so its spans parent under the caller's. Retried
+	// attempts share the context — each server attempt becomes a sibling
+	// span of the same trace.
+	Trace string
 
 	rngOnce sync.Once
 	rngMu   sync.Mutex
@@ -144,6 +152,9 @@ func (c *Client) attempt(ctx context.Context, body []byte) (serve.JobResponse, e
 		return serve.JobResponse{}, &terminalError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Trace != "" {
+		req.Header.Set(obs.TraceHeader, c.Trace)
+	}
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient

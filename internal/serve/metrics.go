@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"runtime"
 	"time"
@@ -36,7 +35,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	perJob := func(name, help string, read func(i int) float64) {
 		p.Family(name, help, "gauge")
 		for i, pr := range progress {
-			p.Sample(name, fmt.Sprintf("job=%q", pr.Name), read(i))
+			p.Sample(name, obs.Labels("job", pr.Name), read(i))
 		}
 	}
 	p.Metric("ari_jobs_running", "Simulations currently executing.", "gauge", float64(len(progress)))
@@ -46,6 +45,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	perJob("ari_job_eta_seconds", "Extrapolated time to completion (-1 = unknown).", func(i int) float64 { return progress[i].ETASeconds })
 	perJob("ari_job_no_progress_cycles", "Watchdog deadlock timer: cycles without any fabric moving a flit.", func(i int) float64 { return float64(progress[i].NoProgressFor) })
 	perJob("ari_job_in_flight_packets", "In-flight packets across both fabrics.", func(i int) float64 { return float64(progress[i].ReqInFlight + progress[i].RepInFlight) })
+
+	p.Histogram("ari_job_seconds", "Full submission latency of 2xx answers (cache hits, estimates, peer hits and runs).",
+		s.jobHist.Snapshot(), 1e-6)
+	p.Histogram("ari_queue_wait_seconds", "Admitted jobs' wait for an execution slot.",
+		s.queueHist.Snapshot(), 1e-6)
+	p.Histogram("ari_run_seconds", "Simulation wall time of completed runs.",
+		s.runHist.Snapshot(), 1e-6)
+	s.slo.Report().WriteMetrics(&p, "ari")
+	p.Metric("ari_trace_spans", "Spans held in the in-memory recorder.", "gauge", float64(s.spans.Len()))
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

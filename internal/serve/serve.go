@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analytic"
@@ -82,6 +83,35 @@ type Config struct {
 
 	// PeerClient overrides the HTTP client used for peer fetches.
 	PeerClient *http.Client
+
+	// TraceSample mints a distributed trace for 1 in N submissions that
+	// arrive without an X-Ari-Trace context (0 disables minting; a valid
+	// incoming context is always continued — the sender sampled).
+	TraceSample int
+
+	// TraceCap bounds the in-memory span recorder (obs.DefaultSpanCap
+	// when 0).
+	TraceCap int
+
+	// TracePackets bounds the sampled NoC packet lifecycles linked into a
+	// traced run's spans (default 256; negative disables packet linking).
+	TracePackets int
+
+	// PacketSample is the packet-tracer sampling stride for traced runs
+	// (default 16: every 16th packet gets a lifecycle span).
+	PacketSample int
+
+	// Process names this replica in exported traces (default "ariserve");
+	// give each cluster replica a distinct name so the merged Chrome trace
+	// renders one process row per replica.
+	Process string
+
+	// SLOTarget is the submission-latency objective boundary: a 2xx answer
+	// within it is a good event (default 30s — simulations are heavy).
+	SLOTarget time.Duration
+
+	// SLOGoal is the objective's target good fraction (default 0.99).
+	SLOGoal float64
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -131,6 +161,22 @@ type Server struct {
 	peers       []string
 	peerTimeout time.Duration
 	peerClient  *http.Client
+
+	spans        *obs.SpanRecorder
+	traceSample  int
+	traceSeq     atomic.Int64
+	tracePackets int
+	packetSample int
+	process      string
+	jobHist      obs.Histogram // full submission latency of 2xx answers, µs
+	queueHist    obs.Histogram // wait for an execution slot, µs
+	runHist      obs.Histogram // simulation wall time, µs
+	slo          *obs.SLOTracker
+
+	// traced maps job keys of in-flight traced runs to their collector
+	// rendezvous (see tracedRun).
+	traceMu sync.Mutex
+	traced  map[string]*tracedRun
 
 	// rootCtx is cancelled by Abort: every in-flight run aborts at its
 	// next watchdog poll. This is the drain-deadline / simulated-crash path.
@@ -191,6 +237,29 @@ func New(cfg Config) (*Server, error) {
 	if peerClient == nil {
 		peerClient = http.DefaultClient
 	}
+	tracePackets := cfg.TracePackets
+	switch {
+	case tracePackets == 0:
+		tracePackets = 256
+	case tracePackets < 0:
+		tracePackets = 0
+	}
+	packetSample := cfg.PacketSample
+	if packetSample <= 0 {
+		packetSample = 16
+	}
+	process := cfg.Process
+	if process == "" {
+		process = "ariserve"
+	}
+	target := cfg.SLOTarget
+	if target <= 0 {
+		target = 30 * time.Second
+	}
+	goal := cfg.SLOGoal
+	if goal <= 0 || goal >= 1 {
+		goal = 0.99
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		runner:      cfg.Runner,
@@ -202,8 +271,27 @@ func New(cfg Config) (*Server, error) {
 		peers:       cfg.Peers,
 		peerTimeout: peerTimeout,
 		peerClient:  peerClient,
-		rootCtx:     ctx,
-		abort:       cancel,
+		spans:       obs.NewSpanRecorder(cfg.TraceCap),
+		traceSample: cfg.TraceSample,
+		tracePackets: tracePackets,
+		packetSample: packetSample,
+		process:     process,
+		slo: obs.NewSLOTracker([]obs.Objective{
+			{Name: "job_latency", Threshold: target.Microseconds(), Goal: goal},
+		}),
+		traced:  make(map[string]*tracedRun),
+		rootCtx: ctx,
+		abort:   cancel,
+	}
+	// Chain onto the runner's InstrumentJob seam so traced runs get packet
+	// collectors. The runner may be shared (peers, tests): preserve any hook
+	// already installed.
+	prevInstrument := cfg.Runner.InstrumentJob
+	cfg.Runner.InstrumentJob = func(j exp.Job, sim *core.Simulator) {
+		if prevInstrument != nil {
+			prevInstrument(j, sim)
+		}
+		s.instrumentJob(j, sim)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
@@ -215,6 +303,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/nocstate", s.handleNoCState)
+	s.mux.HandleFunc("/debug/spans", s.handleSpans)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.mux.HandleFunc("/debug/slo", s.handleSLO)
 	// pprof goes on the server's own mux — ariserve never serves the
 	// DefaultServeMux, so the import's side-effect registrations alone
 	// would be unreachable.
@@ -317,18 +408,26 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
+	start := time.Now()
+	jt := s.startJobTrace(w, r)
+	defer jt.finish("abandoned") // client gone before an answer; first finish wins
+
 	var q JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&q); err != nil {
+		jt.finish("bad_request")
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
 	job, err := buildJob(s.runner.Base, &q)
 	if err != nil {
+		jt.finish("bad_request")
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	key := exp.JobKey(job.Cfg, job.Kernel.Name)
+	jt.setAttr("bench", job.Kernel.Name)
+	jt.setAttr("key", key)
 
 	// Idempotent fast path: a duplicate of a finished job — a client retry,
 	// or any job the journal already holds after a restart — is answered
@@ -338,6 +437,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		s.cacheHits++
 		s.mu.Unlock()
+		jt.event("serve.journal_hit")
+		s.answered(start)
+		jt.finish("cached")
 		writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Result: res})
 		return
 	}
@@ -350,12 +452,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if q.Estimate {
 		est, err := analytic.EstimateOne(job.Cfg, job.Kernel)
 		if err != nil {
+			jt.finish("bad_request")
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "estimate: " + err.Error()})
 			return
 		}
 		s.mu.Lock()
 		s.estimated++
 		s.mu.Unlock()
+		s.answered(start)
+		jt.finish("estimated")
 		writeJSON(w, http.StatusOK, JobResponse{Key: key, Estimated: true, Estimate: &est})
 		return
 	}
@@ -367,7 +472,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	// served exactly like one. Peer errors fall through to a normal run:
 	// a partitioned replica keeps serving, it just stops sharing.
 	if len(s.peers) > 0 {
-		if res, peer, ok := s.peerFetch(r.Context(), key); ok {
+		pf := jt.child("serve.peer_fetch")
+		res, peer, ok := s.peerFetch(r.Context(), key)
+		jt.endChild(pf, "hit", strconv.FormatBool(ok), "peer", peer)
+		if ok {
 			if err := s.runner.Adopt(job.Cfg, job.Kernel.Name, res); err != nil {
 				// Journal write failure: still answer — the result is
 				// correct, only the local durability is degraded.
@@ -376,15 +484,21 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			s.mu.Lock()
 			s.peerHits++
 			s.mu.Unlock()
+			s.answered(start)
+			jt.finish("peer")
 			writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Peer: peer, Result: res})
 			return
 		}
 	}
 
 	// Admission: shed instead of queueing unboundedly.
+	adm := jt.child("serve.admission")
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		jt.endChild(adm, "outcome", "draining")
+		s.slo.Fail()
+		jt.finish("draining")
 		s.reject(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -392,9 +506,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- struct{}{}:
 		s.inflight.Add(1)
 		s.mu.Unlock()
+		jt.endChild(adm, "outcome", "admitted")
 	default:
 		s.shed++
 		s.mu.Unlock()
+		jt.endChild(adm, "outcome", "shed")
+		s.slo.Fail()
+		jt.finish("shed")
 		s.reject(w, http.StatusTooManyRequests, "admission queue full")
 		return
 	}
@@ -417,25 +535,64 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	defer stopAfter()
 
 	// Wait (bounded by the queue slot) for an execution slot.
+	qw := jt.child("serve.queue_wait")
+	waitStart := time.Now()
 	select {
 	case s.work <- struct{}{}:
+		s.queueHist.ObserveDuration(time.Since(waitStart))
+		jt.endChild(qw)
 	case <-ctx.Done():
+		s.queueHist.ObserveDuration(time.Since(waitStart))
+		jt.endChild(qw, "cancelled", "true")
+		s.slo.Fail()
+		jt.finish("cancelled")
 		s.writeRunError(w, ctx.Err())
 		return
 	}
 	defer func() { <-s.work }()
 
-	start := time.Now()
+	// The run span is the anchor of the trace's NoC layer: when this traced
+	// run builds a simulator, instrumentJob attaches packet collectors, and
+	// the sampled lifecycles land as child spans anchored at the span's
+	// wall-clock start (1 cycle = 1 µs).
+	runSp := jt.child("serve.run")
+	var tr *tracedRun
+	if jt.active() && s.tracePackets > 0 {
+		tr = &tracedRun{
+			trace: runSp.Trace, parent: runSp.ID, process: s.process,
+			startUS: runSp.StartUS, limit: s.tracePackets,
+		}
+		if !s.registerTraced(key, tr) {
+			tr = nil // a concurrent traced duplicate owns the key
+		}
+	}
+	runStart := time.Now()
 	results, err := s.runner.RunAllContext(ctx, []exp.Job{job})
+	if tr != nil {
+		s.unregisterTraced(key)
+	}
 	if err != nil {
+		jt.endChild(runSp, "error", err.Error())
+		s.slo.Fail()
+		jt.finish("error")
 		s.writeRunError(w, err)
 		return
 	}
-	s.observe(time.Since(start))
+	s.observe(time.Since(runStart))
+	jt.endChild(runSp,
+		"scheme", job.Cfg.Scheme.String(),
+		"cycles", strconv.FormatInt(results[0].MeasuredCycles, 10))
+	if tr != nil {
+		for _, ps := range tr.packetSpans() {
+			s.spans.Record(ps)
+		}
+	}
 	s.mu.Lock()
 	s.faultEvents += int64(results[0].FaultEvents)
 	s.recovered += int64(results[0].Recovery.RetransPackets)
 	s.mu.Unlock()
+	s.answered(start)
+	jt.finish("ok")
 	writeJSON(w, http.StatusOK, JobResponse{Key: key, Result: results[0]})
 }
 
@@ -539,6 +696,7 @@ func (s *Server) retryAfterSecs() int {
 // observe folds one completed simulation's wall time into the service-time
 // EWMA (α = 0.2) and bumps the completion counter.
 func (s *Server) observe(d time.Duration) {
+	s.runHist.ObserveDuration(d)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.completed++

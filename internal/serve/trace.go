@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+// Distributed tracing on the replica (DESIGN.md §15). A submission arriving
+// with an X-Ari-Trace context — minted by arigate or by the client — is
+// continued here: a serve.job span brackets the whole request, with child
+// spans for admission, queue wait, the peer fetch, and the simulation run.
+// The run span additionally links the run's sampled NoC packet lifecycles
+// (obs.Collector via the runner's InstrumentJob seam) into the same trace,
+// anchored at the run span's wall-clock start with 1 cycle = 1 µs, so the
+// gateway, the replica and the simulated fabric share one timeline.
+//
+// Tracing observes and never steers: collectors attach through the same
+// read-only tracer hooks the figure pipeline uses, so a traced run's Result
+// stays byte-identical to an untraced one (locked by TestTracedRunByteIdentical).
+
+// jobTrace carries one traced submission through handleJobs. A nil *jobTrace
+// (untraced request) is valid and makes every method a no-op, so the handler
+// calls trace hooks unconditionally.
+type jobTrace struct {
+	s    *Server
+	job  obs.Span
+	done bool
+}
+
+// startJobTrace decides one submission's tracing fate: continue a valid
+// incoming context, else mint a trace for 1 in TraceSample submissions.
+// The serve.job span's context is echoed on the response so callers —
+// including curl — learn the trace ID to pull from /debug/trace.
+func (s *Server) startJobTrace(w http.ResponseWriter, r *http.Request) *jobTrace {
+	tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader))
+	if !ok {
+		if s.traceSample <= 0 {
+			return nil
+		}
+		if n := s.traceSeq.Add(1); (n-1)%int64(s.traceSample) != 0 {
+			return nil
+		}
+		tc = obs.TraceContext{Trace: obs.NewTraceID()}
+	}
+	jt := &jobTrace{s: s}
+	jt.job = obs.StartSpan(tc.Trace, tc.Span, "serve.job", s.process)
+	w.Header().Set(obs.TraceHeader, obs.TraceContext{Trace: jt.job.Trace, Span: jt.job.ID}.String())
+	return jt
+}
+
+// active reports whether this request is being traced.
+func (jt *jobTrace) active() bool { return jt != nil }
+
+// setAttr annotates the serve.job span.
+func (jt *jobTrace) setAttr(k, v string) {
+	if jt != nil {
+		jt.job.SetAttr(k, v)
+	}
+}
+
+// child starts a span nested under the serve.job span; close it with
+// endChild. The zero Span returned when untraced is safe to pass back.
+func (jt *jobTrace) child(name string) obs.Span {
+	if jt == nil {
+		return obs.Span{}
+	}
+	return obs.StartSpan(jt.job.Trace, jt.job.ID, name, jt.s.process)
+}
+
+// endChild stamps and records a child span with optional attr pairs.
+func (jt *jobTrace) endChild(sp obs.Span, attrs ...string) {
+	if jt == nil || sp.Trace == "" {
+		return
+	}
+	sp.End()
+	for i := 0; i+1 < len(attrs); i += 2 {
+		sp.SetAttr(attrs[i], attrs[i+1])
+	}
+	jt.s.spans.Record(sp)
+}
+
+// event records an instantaneous child span (journal hits take no time worth
+// timing, but the trace should still show where the answer came from).
+func (jt *jobTrace) event(name string) {
+	if jt == nil {
+		return
+	}
+	sp := obs.StartSpan(jt.job.Trace, jt.job.ID, name, jt.s.process)
+	jt.s.spans.Record(sp)
+}
+
+// finish closes and records the serve.job span exactly once. The handler
+// defers finish("abandoned") and calls finish(outcome) on every answer path;
+// the first call wins.
+func (jt *jobTrace) finish(outcome string) {
+	if jt == nil || jt.done {
+		return
+	}
+	jt.done = true
+	jt.job.End()
+	jt.job.SetAttr("outcome", outcome)
+	jt.s.spans.Record(jt.job)
+}
+
+// tracedRun is the rendezvous between a traced request and the simulator the
+// runner builds for it: handleJobs registers it under the job key before
+// running, the runner's InstrumentJob hook attaches packet collectors to the
+// matching simulator, and handleJobs harvests the collected lifecycles as
+// spans afterwards.
+type tracedRun struct {
+	trace, parent, process string
+	startUS                int64
+	limit                  int
+
+	mu       sync.Mutex
+	attached bool
+	req, rep *obs.Collector
+}
+
+// registerTraced claims the job key for this traced run. Concurrent traced
+// duplicates of one key keep their request spans but only the first link
+// packets — the runner builds one simulator per key anyway.
+func (s *Server) registerTraced(key string, tr *tracedRun) bool {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if _, busy := s.traced[key]; busy {
+		return false
+	}
+	s.traced[key] = tr
+	return true
+}
+
+func (s *Server) unregisterTraced(key string) {
+	s.traceMu.Lock()
+	delete(s.traced, key)
+	s.traceMu.Unlock()
+}
+
+// instrumentJob is installed on the runner's InstrumentJob seam: when the
+// freshly built simulator belongs to a registered traced run, attach packet
+// collectors (read-only tracer hooks — simulated behaviour is unchanged).
+func (s *Server) instrumentJob(j exp.Job, sim *core.Simulator) {
+	key := exp.JobKey(j.Cfg, j.Kernel.Name)
+	s.traceMu.Lock()
+	tr := s.traced[key]
+	s.traceMu.Unlock()
+	if tr == nil || tr.limit <= 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.attached {
+		return
+	}
+	tr.attached = true
+	tr.req, tr.rep = obs.AttachTracers(sim, uint64(s.packetSample))
+}
+
+// packetSpans converts the harvested collectors into spans under the run
+// span (nil when the run never attached — cache hit raced us, or the run
+// failed before building a simulator).
+func (tr *tracedRun) packetSpans() []obs.Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if !tr.attached {
+		return nil
+	}
+	out := obs.PacketSpans(tr.rep, tr.trace, tr.parent, tr.process, tr.startUS, tr.limit)
+	return append(out, obs.PacketSpans(tr.req, tr.trace, tr.parent, tr.process, tr.startUS, tr.limit)...)
+}
+
+// handleSpans serves this replica's recorded spans as JSON (?trace=<id>
+// filters to one trace). The gateway's /debug/trace merges these across the
+// cluster.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.spans.Spans(r.URL.Query().Get("trace")))
+}
+
+// handleTrace renders one locally recorded trace (?trace=<id>, default the
+// latest root) as a Chrome trace_event document.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	trace := r.URL.Query().Get("trace")
+	if trace == "" {
+		trace = s.spans.LatestTrace()
+	}
+	spans := s.spans.Spans(trace)
+	if trace == "" || len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "trace not found; enable sampling with -trace-sample"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteSpanTrace(w, spans)
+}
+
+// handleSLO serves the server's SLO report as JSON.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Report())
+}
+
+// answered folds one successfully answered submission (any 2xx path) into
+// the latency histogram and the SLO tracker.
+func (s *Server) answered(start time.Time) {
+	d := time.Since(start)
+	s.jobHist.ObserveDuration(d)
+	s.slo.Observe(d.Microseconds())
+}
