@@ -20,6 +20,11 @@ type entry struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -N name
+	// suffix). Scaling gates (benchdiff -scale) use it to tell a genuine
+	// flat-scaling regression from a run on a machine with too few cores
+	// to scale at all.
+	Procs int `json:"procs,omitempty"`
 }
 
 // doc is the full output document.
@@ -73,15 +78,13 @@ func parseBench(line string) (entry, bool) {
 		return entry{}, false
 	}
 	var e entry
-	// Strip the -GOMAXPROCS suffix if present.
+	// Strip the -GOMAXPROCS suffix if present, recording its value.
+	e.Name = f[0]
 	if i := strings.LastIndexByte(f[0], '-'); i > 0 {
-		if _, err := strconv.Atoi(f[0][i+1:]); err == nil {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil && p > 0 {
 			e.Name = f[0][:i]
-		} else {
-			e.Name = f[0]
+			e.Procs = p
 		}
-	} else {
-		e.Name = f[0]
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {

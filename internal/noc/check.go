@@ -83,16 +83,16 @@ func (n *Network) checkRouter(r *router) error {
 			recount += vc.buf.len()
 		}
 	}
-	if recount != r.flits {
-		return fmt.Errorf("activity counter %d != recounted %d flits", r.flits, recount)
+	if recount != r.flitCount() {
+		return fmt.Errorf("activity counter %d != recounted %d flits", r.flitCount(), recount)
 	}
 	e := n.ejectors[r.id]
 	recount = len(e.arrivals)
 	for _, q := range e.vcs {
 		recount += q.len()
 	}
-	if recount != e.flits {
-		return fmt.Errorf("ejector activity counter %d != recounted %d flits", e.flits, recount)
+	if recount != e.flitCount() {
+		return fmt.Errorf("ejector activity counter %d != recounted %d flits", e.flitCount(), recount)
 	}
 
 	// (1) and (4): buffer bounds and contiguity.

@@ -29,14 +29,14 @@ func (n *Network) DumpState() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "network @cycle %d: inFlight=%d\n", n.now, n.inFlight)
 	for _, r := range n.routers {
-		if r.flits == 0 && n.ejectors[r.id].flits == 0 && n.nis[r.id].totalQueuedFlits == 0 {
+		if r.flitCount() == 0 && n.ejectors[r.id].flitCount() == 0 && n.nis[r.id].queuedFlits() == 0 {
 			continue
 		}
 		tag := ""
 		if r.isMC {
 			tag = " [MC]"
 		}
-		fmt.Fprintf(&b, "router %d%s: %d flits\n", r.id, tag, r.flits)
+		fmt.Fprintf(&b, "router %d%s: %d flits\n", r.id, tag, r.flitCount())
 		for _, ip := range r.in {
 			for _, vc := range ip.vcs {
 				if vc.buf.empty() && vc.state == vcIdle {
@@ -71,11 +71,11 @@ func (n *Network) DumpState() string {
 			}
 			fmt.Fprintf(&b, "  out %d: credits=[%s]%s\n", op.index, strings.Join(creds, " "), stall)
 		}
-		if ni := n.nis[r.id]; ni.totalQueuedFlits > 0 {
-			fmt.Fprintf(&b, "  ni: %d queued flits (mode %s)\n", ni.totalQueuedFlits, ni.mode)
+		if ni := n.nis[r.id]; ni.queuedFlits() > 0 {
+			fmt.Fprintf(&b, "  ni: %d queued flits (mode %s)\n", ni.queuedFlits(), ni.mode)
 		}
-		if e := n.ejectors[r.id]; e.flits > 0 {
-			fmt.Fprintf(&b, "  ejector: %d flits\n", e.flits)
+		if e := n.ejectors[r.id]; e.flitCount() > 0 {
+			fmt.Fprintf(&b, "  ejector: %d flits\n", e.flitCount())
 		}
 	}
 	if old := n.OldestPackets(5); len(old) > 0 {

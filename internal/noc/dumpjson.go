@@ -79,10 +79,10 @@ func (n *Network) packetDump(p *Packet) PacketDump {
 func (n *Network) StateSnapshot() StateDump {
 	d := StateDump{Cycle: n.now, InFlight: n.inFlight}
 	for _, r := range n.routers {
-		if r.flits == 0 && n.ejectors[r.id].flits == 0 && n.nis[r.id].totalQueuedFlits == 0 {
+		if r.flitCount() == 0 && n.ejectors[r.id].flitCount() == 0 && n.nis[r.id].queuedFlits() == 0 {
 			continue
 		}
-		rd := RouterDump{ID: r.id, MC: r.isMC, Flits: r.flits}
+		rd := RouterDump{ID: r.id, MC: r.isMC, Flits: r.flitCount()}
 		for _, ip := range r.in {
 			for _, vc := range ip.vcs {
 				if vc.buf.empty() && vc.state == vcIdle {
@@ -115,8 +115,8 @@ func (n *Network) StateSnapshot() StateDump {
 			}
 			rd.Outs = append(rd.Outs, od)
 		}
-		rd.NIQueuedFlits = n.nis[r.id].totalQueuedFlits
-		rd.EjectorFlits = n.ejectors[r.id].flits
+		rd.NIQueuedFlits = n.nis[r.id].queuedFlits()
+		rd.EjectorFlits = n.ejectors[r.id].flitCount()
 		d.Routers = append(d.Routers, rd)
 	}
 	for _, p := range n.OldestPackets(5) {

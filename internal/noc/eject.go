@@ -7,14 +7,17 @@ package noc
 type ejector struct {
 	net  *Network
 	node int
+	// sh/lidx locate the ejector's flit-count activity predicate in its
+	// stepping shard's SoA arrays (sh.ejectFlits[lidx]; see soa.go) — the
+	// count of buffered plus staged flits, always equal to what busy()
+	// recounts.
+	sh   *netShard
+	lidx int32
 	vcs  []*flitQueue
 	// arrivals staged by the router's ST this cycle.
 	arrivals []stagedFlit
 	rr       *roundRobin
 	rate     int
-	// flits counts buffered plus staged flits: the O(1) activity predicate
-	// of event-driven stepping (always equals what busy() recounts).
-	flits int
 	// backOut is the router output port whose credits track this ejector's
 	// buffer space.
 	backOut *outputPort
@@ -44,6 +47,14 @@ func newEjector(net *Network, node int, backOut *outputPort) *ejector {
 	return e
 }
 
+// flitCount reads the ejector's activity predicate (SoA slot; see soa.go).
+func (e *ejector) flitCount() int { return int(e.sh.ejectFlits[e.lidx]) }
+
+// addFlits adjusts the ejector's activity predicate. Incremented by the
+// owning shard's traverse (the ejection port never crosses a shard
+// boundary), decremented by the serial ejection phase.
+func (e *ejector) addFlits(d int) { e.sh.ejectFlits[e.lidx] += int32(d) }
+
 func (e *ejector) applyArrivals(now int64) {
 	kept := e.arrivals[:0]
 	for _, sf := range e.arrivals {
@@ -69,7 +80,7 @@ func (e *ejector) consume(now int64) {
 			return
 		}
 		f := e.vcs[v].pop()
-		e.flits--
+		e.addFlits(-1)
 		e.backOut.creditIn[v]++
 		e.net.stats.EjectFlits++
 		if f.bad && e.vcBad != nil {

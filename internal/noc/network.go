@@ -91,6 +91,7 @@ type Network struct {
 	stepPool    *par.Pool
 	ownPool     *par.Pool
 	shardStepFn func(int)
+	commitFn    func(int)
 
 	// tracer receives lifecycle events for every traceEvery-th packet (see
 	// SetTracer); nil disables tracing at the cost of a nil check on
@@ -180,8 +181,8 @@ func (n *Network) ResetStats() {
 	n.injWindowCount = 0
 	n.injWindowStart = n.now
 	for _, ni := range n.nis {
-		ni.occupancy = statsTimeWeightedAt(float64(ni.totalQueuedFlits), n.now)
-		ni.everHeld = ni.totalQueuedFlits > 0
+		ni.occupancy = statsTimeWeightedAt(float64(ni.queuedFlits()), n.now)
+		ni.everHeld = ni.queuedFlits() > 0
 		ni.rejectedOfferEvents = 0
 		ni.injectedFlits = 0
 	}
@@ -242,9 +243,14 @@ func (n *Network) Step() {
 				e.consume(n.now)
 			}
 		} else {
-			for _, e := range n.ejectors {
-				if e.flits > 0 {
-					e.consume(n.now)
+			// Dense sweep of the SoA ejector predicates: node order is
+			// preserved because shards partition nodes into ascending
+			// contiguous ranges.
+			for _, s := range n.shards {
+				for i, f := range s.ejectFlits {
+					if f > 0 {
+						s.ejectors[i].consume(n.now)
+					}
 				}
 			}
 		}
@@ -347,7 +353,7 @@ func (n *Network) VAGrants() uint64 {
 func (n *Network) BufferedFlits() int {
 	total := 0
 	for _, r := range n.routers {
-		total += r.flits
+		total += r.flitCount()
 	}
 	return total
 }
@@ -356,7 +362,7 @@ func (n *Network) BufferedFlits() int {
 func (n *Network) NIQueuedFlits() int {
 	total := 0
 	for _, ni := range n.nis {
-		total += ni.totalQueuedFlits
+		total += ni.queuedFlits()
 	}
 	return total
 }
@@ -371,7 +377,7 @@ func (n *Network) VCOccupancy(v int) int {
 	}
 	total := 0
 	for _, r := range n.routers {
-		if r.flits == 0 {
+		if r.flitCount() == 0 {
 			continue
 		}
 		for _, ip := range r.in {

@@ -17,8 +17,11 @@ import "repro/internal/stats"
 type NI struct {
 	net *Network
 	// sh is the stepping shard that owns this NI's node; injection-side
-	// counters go to its deltas (Inject is fanned out by shard too).
+	// counters go to its deltas (Inject is fanned out by shard too), and
+	// lidx is the NI's slot in the shard's SoA activity arrays: the queued
+	// flit count lives in sh.niQueued[lidx] (see soa.go).
 	sh     *netShard
+	lidx   int32
 	node   int
 	mode   NIMode
 	router *router
@@ -40,7 +43,6 @@ type NI struct {
 	splitPick           *roundRobin
 	occupancy           stats.TimeWeighted
 	everHeld            bool
-	totalQueuedFlits    int
 	acceptedPackets     uint64
 	rejectedOfferEvents uint64
 	injectedFlits       uint64 // flits sent over the injection link(s)
@@ -114,6 +116,14 @@ func newNI(net *Network, node int, router *router) *NI {
 // the router when it pops a flit from that VC.
 func (ni *NI) creditReturn(p, v int) { ni.vcCredits[p][v]++ }
 
+// queuedFlits reads the NI's activity predicate: flits buffered in its
+// injection queue(s) (SoA slot; see soa.go).
+func (ni *NI) queuedFlits() int { return int(ni.sh.niQueued[ni.lidx]) }
+
+// addQueued adjusts the NI's activity predicate; only ever called from the
+// NI's own shard (node logic is fanned out by the same partition).
+func (ni *NI) addQueued(d int) { ni.sh.niQueued[ni.lidx] += int32(d) }
+
 // CanAccept reports whether Offer(pkt) would succeed this cycle: the NI
 // core logic formats at most one packet per cycle (it processes one data
 // per cycle, §4.1) and the target queue must have space for the whole
@@ -181,9 +191,9 @@ func (ni *NI) Offer(pkt *Packet, now int64) bool {
 	for s := 0; s < pkt.Size; s++ {
 		q.push(flit{pkt: pkt, seq: s})
 	}
-	ni.totalQueuedFlits += pkt.Size
+	ni.addQueued(pkt.Size)
 	ni.everHeld = true
-	ni.occupancy.Set(float64(ni.totalQueuedFlits), now)
+	ni.occupancy.Set(float64(ni.queuedFlits()), now)
 	ni.acceptedPackets++
 	ni.sh.ctr.inFlight++
 	ni.sh.ctr.packetsInjected[pkt.Type]++
@@ -233,7 +243,7 @@ func (ni *NI) step(now int64) {
 		}
 	}
 	if ni.everHeld {
-		ni.occupancy.Set(float64(ni.totalQueuedFlits), now)
+		ni.occupancy.Set(float64(ni.queuedFlits()), now)
 	}
 }
 
@@ -310,7 +320,7 @@ func (ni *NI) sendSplitFlit(v int, now int64) {
 
 func (ni *NI) deliver(f flit, p, v int, now int64) {
 	ni.vcCredits[p][v]--
-	ni.totalQueuedFlits--
+	ni.addQueued(-1)
 	if f.isHead() {
 		f.pkt.InjectedAt = now
 		if tr := ni.net.tracer; tr != nil && f.pkt.traced {
@@ -319,13 +329,13 @@ func (ni *NI) deliver(f flit, p, v int, now int64) {
 	}
 	// The injection link is one cycle regardless of router pipeline depth.
 	ni.ports[p].arrivals = append(ni.ports[p].arrivals, stagedFlit{f: f, vc: v, deliverAt: now + 1})
-	ni.router.flits++
+	ni.router.addFlits(1)
 	ni.injectedFlits++
 	ni.sh.ctr.injLinkFlits++
 }
 
 // pendingFlits returns the flits still buffered in the NI.
-func (ni *NI) pendingFlits() int { return ni.totalQueuedFlits }
+func (ni *NI) pendingFlits() int { return ni.queuedFlits() }
 
 // OccupancyAvg returns the time-weighted average NI queue occupancy in
 // flits (Fig 6's metric, converted to packets by the caller).

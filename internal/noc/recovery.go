@@ -254,9 +254,9 @@ func (ni *NI) tryRetransmit(now int64) {
 	for s := 0; s < e.size; s++ {
 		q.push(flit{pkt: pkt, seq: s})
 	}
-	ni.totalQueuedFlits += e.size
+	ni.addQueued(e.size)
 	ni.everHeld = true
-	ni.occupancy.Set(float64(ni.totalQueuedFlits), now)
+	ni.occupancy.Set(float64(ni.queuedFlits()), now)
 	e.pending = false
 	ni.retransPending--
 	ni.sh.ctr.retransPackets++

@@ -76,8 +76,10 @@ type inputPort struct {
 	upstream *outputPort
 	// remoteUpstream marks an upstream owned by another stepping shard:
 	// credits then return through the shard outbox instead of writing
-	// upstream.creditIn directly (see shard.go).
+	// upstream.creditIn directly, and upstreamShard names the shard whose
+	// commit worker must land them (see shard.go).
 	remoteUpstream bool
+	upstreamShard  int32
 	ni             *NI
 
 	// spIDs are the switch-port ids owned by this port (1 for mesh ports,
@@ -108,8 +110,10 @@ type outputPort struct {
 	eject    *ejector
 	// remote marks a destPort owned by another stepping shard: traversals
 	// then stage through the shard outbox instead of appending to
-	// destPort.arrivals directly (see shard.go).
-	remote bool
+	// destPort.arrivals directly, and remoteShard names the destination
+	// shard whose commit worker must land them (see shard.go).
+	remote      bool
+	remoteShard int32
 
 	// flits counts traversals onto this output's link (observability).
 	flits uint64
@@ -134,8 +138,11 @@ type outputPort struct {
 type router struct {
 	net *Network
 	// sh is the stepping shard that owns this router; phase-A counter
-	// increments go to its deltas so parallel shards never share a counter.
+	// increments go to its deltas so parallel shards never share a counter,
+	// and lidx is this router's slot in the shard's SoA activity arrays
+	// (id - sh.lo; see soa.go).
 	sh     *netShard
+	lidx   int32
 	id     int
 	isMC   bool // tagged by the caller for stats / scheme logic
 	in     []*inputPort
@@ -153,10 +160,17 @@ type router struct {
 	candBuf   []routeCandidate
 	prioArbOn bool
 
-	// flits counts flits resident in this router (input-VC buffers plus
-	// staged arrivals); it is the O(1) activity predicate of event-driven
-	// stepping and always equals what busy() recounts.
-	flits int
+	// The router's flit-count activity predicate lives in its shard's SoA
+	// array (sh.routerFlits[lidx]; see soa.go) — addFlits/flitCount below.
+	// It always equals what busy() recounts.
+	//
+	// waitVCs counts input VCs in vcWaitVC and activeVCs those in vcActive:
+	// O(1) early-outs that let vcAllocate skip its O(VCs) scan when nothing
+	// waits and switchAllocate return when nothing can bid. Both passes are
+	// side-effect-free when their count is zero (pick without a grant never
+	// advances an arbiter), so the skip is behaviour-identical.
+	waitVCs   int32
+	activeVCs int32
 	// lastVA is the cycle vcAllocate last ran, so the unconditional rrVA
 	// rotation of skipped cycles can be fast-forwarded on wake-up.
 	lastVA int64
@@ -244,6 +258,15 @@ func newRouter(net *Network, id int) *router {
 	return r
 }
 
+// flitCount reads the router's activity predicate: flits resident in its
+// input-VC buffers plus staged arrivals (SoA slot; see soa.go).
+func (r *router) flitCount() int { return int(r.sh.routerFlits[r.lidx]) }
+
+// addFlits adjusts the router's activity predicate. Callers outside the
+// router's own shard may only do so from the commit worker of the shard
+// that owns it (see commitShard).
+func (r *router) addFlits(d int) { r.sh.routerFlits[r.lidx] += int32(d) }
+
 // applyArrivals moves due link-staged flits into VC buffers and applies
 // staged credits (phase 1 of the cycle).
 func (r *router) applyArrivals(now int64) {
@@ -293,6 +316,7 @@ func (r *router) routeCompute(now int64) {
 				pkt.Priority--
 			}
 			vc.state = vcWaitVC
+			r.waitVCs++
 			vc.waitSince = now
 		case vcWaitVC:
 			if vc.routeEpoch != r.deadEpoch {
@@ -321,21 +345,28 @@ func (r *router) vcAllocate(now int64) {
 			r.rrVA = (r.rrVA + int(skipped%int64(n))) % n
 		}
 	}
-	r.vcAllocatePass(now, func(vc *inputVC) bool { return true })
+	if r.waitVCs > 0 {
+		r.vcAllocatePass(now)
+	}
 	if n > 0 {
 		r.rrVA = (r.rrVA + 1) % n
 	}
 	r.lastVA = now
 }
 
-// vcAllocatePass attempts allocation for waiting VCs accepted by sel.
-func (r *router) vcAllocatePass(now int64, sel func(*inputVC) bool) {
+// vcAllocatePass attempts allocation for every waiting VC, scanning from
+// the rotating pointer and stopping once all VCs that were waiting at entry
+// have been visited (no new waiter can appear mid-pass, so the tail of the
+// rotation is provably a no-op).
+func (r *router) vcAllocatePass(now int64) {
 	n := len(r.allVCs)
-	for k := 0; k < n; k++ {
+	remaining := r.waitVCs
+	for k := 0; k < n && remaining > 0; k++ {
 		vc := r.allVCs[(r.rrVA+k)%n]
-		if vc.state != vcWaitVC || !sel(vc) {
+		if vc.state != vcWaitVC {
 			continue
 		}
+		remaining--
 		pkt := vc.buf.front().pkt
 		bestPort, bestVC, bestCredits := -1, -1, -1
 		for _, cand := range vc.cands {
@@ -363,6 +394,8 @@ func (r *router) vcAllocatePass(now int64, sel func(*inputVC) bool) {
 			r.out[bestPort].vcs[bestVC].owner = vc.globalIdx
 			vc.outPort, vc.outVC = bestPort, bestVC
 			vc.state = vcActive
+			r.waitVCs--
+			r.activeVCs++
 			r.sh.ctr.vaGrants++
 			if tr := r.net.tracer; tr != nil && pkt.traced {
 				tr.PacketEvent(pkt.ID, pkt.Type, pkt.Src, pkt.Dst, r.id, TraceVAGrant, now)
@@ -403,6 +436,13 @@ func (r *router) starvationActive(now int64) bool {
 // switchAllocate runs separable input-first switch allocation and performs
 // the winning switch/link traversals (SA + ST + LT).
 func (r *router) switchAllocate(now int64) {
+	if r.activeVCs == 0 {
+		// No input VC holds a downstream VC, so no switch-port can bid and
+		// no output can grant; skipping is behaviour-identical (pick without
+		// a grant never advances an arbiter, and creditStallCycles only
+		// counts active VCs).
+		return
+	}
 	starved := r.prioArbOn && r.starvationActive(now)
 
 	// Stage 1: each switch-port picks among its eligible VCs.
@@ -468,7 +508,7 @@ func (r *router) saEligible(vc *inputVC, now int64) bool {
 // ownership at the tail.
 func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	f := vc.buf.pop()
-	r.flits--
+	r.addFlits(-1)
 	ov := &op.vcs[vc.outVC]
 	ov.credits--
 	op.flits++
@@ -489,17 +529,19 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	switch {
 	case op.remote:
 		// Boundary link: the destination buffer belongs to another shard,
-		// so stage through the outbox; the commit phase lands it (the
-		// downstream applyArrivals cannot read it before deliverAt anyway).
-		r.sh.outFlits = append(r.sh.outFlits, remoteFlit{dst: op.destPort, sf: stagedFlit{f: f, vc: vc.outVC, deliverAt: due}})
+		// so stage into the outbox slot of the destination shard, whose
+		// commit worker lands it (the downstream applyArrivals cannot read
+		// it before deliverAt anyway).
+		d := op.remoteShard
+		r.sh.outFlits[d] = append(r.sh.outFlits[d], remoteFlit{dst: op.destPort, sf: stagedFlit{f: f, vc: vc.outVC, deliverAt: due}})
 		r.sh.ctr.meshLinkFlits++
 	case op.destPort != nil:
 		op.destPort.arrivals = append(op.destPort.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
-		op.destPort.router.flits++
+		op.destPort.router.addFlits(1)
 		r.sh.ctr.meshLinkFlits++
 	case op.eject != nil:
 		op.eject.arrivals = append(op.eject.arrivals, stagedFlit{f: f, vc: vc.outVC, deliverAt: due})
-		op.eject.flits++
+		op.eject.addFlits(1)
 	default:
 		panic("noc: output port with no destination")
 	}
@@ -509,7 +551,8 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 	case vc.port.isInjection:
 		vc.port.ni.creditReturn(vc.port.injIndex, vc.vcIdx)
 	case vc.port.remoteUpstream:
-		r.sh.outCredits = append(r.sh.outCredits, remoteCredit{op: vc.port.upstream, vc: vc.vcIdx})
+		d := vc.port.upstreamShard
+		r.sh.outCredits[d] = append(r.sh.outCredits[d], remoteCredit{op: vc.port.upstream, vc: vc.vcIdx})
 	default:
 		vc.port.upstream.creditIn[vc.vcIdx]++
 	}
@@ -519,6 +562,7 @@ func (r *router) traverse(vc *inputVC, op *outputPort, now int64) {
 		ov.owner = -1
 		vc.state = vcIdle
 		vc.outPort, vc.outVC = -1, -1
+		r.activeVCs--
 	}
 }
 

@@ -20,12 +20,19 @@ import (
 //  1. compute: every shard runs phases A over its own routers/NIs/ejectors.
 //     Writes that would cross a shard boundary (a flit staged toward a
 //     neighbour router, a credit returned to an upstream output port) are
-//     diverted into per-shard outboxes instead of the target's buffers.
-//  2. barrier, then commit: outboxes drain into the target buffers in shard
-//     order. Each inputPort has exactly one upstream writer, so a port's
-//     arrival order equals that single upstream's staging order — the same
-//     order serial stepping produces. Credit commits are integer additions
-//     and commute.
+//     diverted into per-shard outboxes instead of the target's buffers —
+//     partitioned by *destination* shard at staging time, which is what
+//     makes phase 2 parallel.
+//  2. barrier, then commit — in parallel: worker d drains, from every
+//     source shard in ascending shard order, exactly the outbox entries
+//     destined for shard d. Workers therefore write disjoint state (only
+//     shard d's input buffers, credit counters and activity slots), and the
+//     observable order is the serial one: each inputPort has exactly one
+//     upstream router, hence exactly one source shard, so the port's
+//     arrival order equals that single source's staging order — the same
+//     order the old serial shard-order commit (and serial stepping itself)
+//     produced. Credit commits are integer additions and commute. See
+//     DESIGN.md §16 for the full determinism argument.
 //  3. eject: ejector consumption runs serially in node order. It is the one
 //     phase with global side effects (float latency accumulation, the
 //     ejection callback into node logic, inFlight retirement), and node
@@ -78,24 +85,50 @@ type remoteCredit struct {
 	vc int
 }
 
-// netShard is one spatial partition of the mesh: a contiguous node range
-// plus the outboxes and counter deltas of its worker.
+// netShard is one spatial partition of the mesh: a contiguous node range,
+// the SoA activity state of its components, and the outboxes and counter
+// deltas of its worker.
 type netShard struct {
 	index    int
 	lo, hi   int // node range [lo, hi)
 	routers  []*router
 	ejectors []*ejector
 	nis      []*NI
+	// proto mirrors Config.RetransBufPkts > 0: the NI stepping predicate
+	// must also consult protocol activity (ACK/NACK inboxes, pending
+	// retransmissions) when the recovery layer is on.
+	proto bool
 
-	ctr        shardCounters
-	outFlits   []remoteFlit
-	outCredits []remoteCredit
+	// SoA activity counters (soa.go), indexed by node id - lo and carved
+	// from one cache-line-aligned block per shard: routerFlits[i] counts
+	// flits resident in router lo+i (VC buffers plus staged arrivals),
+	// ejectFlits[i] the same for its ejector, niQueued[i] the flits queued
+	// in its NI. They are the O(1) activity predicates of event-driven
+	// stepping; CheckInvariants asserts they equal a full recount.
+	routerFlits []int32
+	ejectFlits  []int32
+	niQueued    []int32
+
+	ctr shardCounters
+	// _ pads the phase-A-hot counter deltas away from the outbox slice
+	// headers below, which the same worker mutates on a different cadence;
+	// the shard structs themselves are separate allocations, so cross-shard
+	// sharing is already impossible.
+	_ [cacheLine]byte
+
+	// outFlits[d] / outCredits[d] stage boundary crossings destined for
+	// shard d (only adjacent shards exchange traffic under row-contiguous
+	// partitioning, but indexing by destination keeps the commit fully
+	// general). The commit phase drains them with shard d's worker.
+	outFlits   [][]remoteFlit
+	outCredits [][]remoteCredit
 }
 
 // step runs phases A for every component of the shard. scan selects the
-// scan-everything reference loop; otherwise the event-driven predicates of
-// stepActive apply per component (a fully idle shard degenerates to a
-// predicate sweep — its slot costs O(shard nodes) and touches nothing).
+// scan-everything reference loop; otherwise the event-driven predicates
+// apply per component, read from the dense per-shard activity arrays (a
+// fully idle shard degenerates to three linear int32 sweeps that touch no
+// component struct at all).
 func (s *netShard) step(now int64, scan bool) {
 	if scan {
 		for _, r := range s.routers {
@@ -118,34 +151,34 @@ func (s *netShard) step(now int64, scan bool) {
 		}
 		return
 	}
-	for _, r := range s.routers {
-		if r.flits > 0 {
-			r.applyArrivals(now)
+	for i, f := range s.routerFlits {
+		if f > 0 {
+			s.routers[i].applyArrivals(now)
 		}
 	}
-	for _, e := range s.ejectors {
-		if e.flits > 0 {
-			e.applyArrivals(now)
+	for i, f := range s.ejectFlits {
+		if f > 0 {
+			s.ejectors[i].applyArrivals(now)
 		}
 	}
-	for _, ni := range s.nis {
-		if ni.totalQueuedFlits > 0 || ni.protoActive() {
-			ni.step(now)
+	for i, q := range s.niQueued {
+		if q > 0 || (s.proto && s.nis[i].protoActive()) {
+			s.nis[i].step(now)
 		}
 	}
-	for _, r := range s.routers {
-		if r.flits > 0 {
-			r.routeCompute(now)
+	for i, f := range s.routerFlits {
+		if f > 0 {
+			s.routers[i].routeCompute(now)
 		}
 	}
-	for _, r := range s.routers {
-		if r.flits > 0 {
-			r.vcAllocate(now)
+	for i, f := range s.routerFlits {
+		if f > 0 {
+			s.routers[i].vcAllocate(now)
 		}
 	}
-	for _, r := range s.routers {
-		if r.flits > 0 {
-			r.switchAllocate(now)
+	for i, f := range s.routerFlits {
+		if f > 0 {
+			s.routers[i].switchAllocate(now)
 		}
 	}
 }
@@ -179,43 +212,93 @@ func EffectiveShards(m Mesh, k int) int {
 }
 
 // buildShards installs a k-way partition (k already clamped). Every router,
-// NI and ejector learns its shard, and boundary-crossing links are marked so
-// traverse diverts them through the outboxes.
+// NI and ejector learns its shard and its slot in the shard's activity
+// arrays, boundary-crossing links are marked with their destination shard
+// so traverse diverts them through the right outbox, and any activity
+// counts from a previous partition are carried over.
 func (n *Network) buildShards(k int) {
+	// Snapshot the activity counters of the outgoing partition (zero on
+	// first build): re-sharding must not lose in-flight state.
+	nodes := n.cfg.Mesh.Nodes()
+	var oldR, oldE, oldQ []int32
+	if n.shards != nil {
+		oldR = make([]int32, nodes)
+		oldE = make([]int32, nodes)
+		oldQ = make([]int32, nodes)
+		for _, s := range n.shards {
+			copy(oldR[s.lo:s.hi], s.routerFlits)
+			copy(oldE[s.lo:s.hi], s.ejectFlits)
+			copy(oldQ[s.lo:s.hi], s.niQueued)
+		}
+	}
 	ranges := ShardRanges(n.cfg.Mesh, k)
 	n.shards = make([]*netShard, len(ranges))
 	for i, rg := range ranges {
 		s := &netShard{
-			index:    i,
-			lo:       rg[0],
-			hi:       rg[1],
-			routers:  n.routers[rg[0]:rg[1]],
-			ejectors: n.ejectors[rg[0]:rg[1]],
-			nis:      n.nis[rg[0]:rg[1]],
+			index:      i,
+			lo:         rg[0],
+			hi:         rg[1],
+			routers:    n.routers[rg[0]:rg[1]],
+			ejectors:   n.ejectors[rg[0]:rg[1]],
+			nis:        n.nis[rg[0]:rg[1]],
+			proto:      n.cfg.RetransBufPkts > 0,
+			outFlits:   make([][]remoteFlit, len(ranges)),
+			outCredits: make([][]remoteCredit, len(ranges)),
+		}
+		ns := rg[1] - rg[0]
+		block := alignedInt32s(3 * ns)
+		s.routerFlits = block[0*ns : 1*ns : 1*ns]
+		s.ejectFlits = block[1*ns : 2*ns : 2*ns]
+		s.niQueued = block[2*ns : 3*ns : 3*ns]
+		if oldR != nil {
+			copy(s.routerFlits, oldR[s.lo:s.hi])
+			copy(s.ejectFlits, oldE[s.lo:s.hi])
+			copy(s.niQueued, oldQ[s.lo:s.hi])
 		}
 		s.ctr.pktIDNext = uint64(i + 1)
 		s.ctr.pktIDStride = uint64(len(ranges))
-		for _, r := range s.routers {
+		for j, r := range s.routers {
 			r.sh = s
+			r.lidx = int32(j)
 		}
-		for _, ni := range s.nis {
+		for j, e := range s.ejectors {
+			e.sh = s
+			e.lidx = int32(j)
+		}
+		for j, ni := range s.nis {
 			ni.sh = s
+			ni.lidx = int32(j)
 		}
 		n.shards[i] = s
 	}
 	// Mark boundary links: an output port whose destination router lives in
-	// another shard, and an input port whose upstream output port does.
+	// another shard, and an input port whose upstream output port does. The
+	// destination/upstream shard index is precomputed so traverse can stage
+	// into the per-destination outbox without chasing pointers.
 	for _, r := range n.routers {
 		for _, op := range r.out {
 			op.remote = op.destPort != nil && op.destPort.router.sh != r.sh
+			if op.remote {
+				op.remoteShard = int32(op.destPort.router.sh.index)
+			} else {
+				op.remoteShard = -1
+			}
 		}
 		for _, ip := range r.in {
 			ip.remoteUpstream = ip.upstream != nil && ip.upstream.router.sh != r.sh
+			if ip.remoteUpstream {
+				ip.upstreamShard = int32(ip.upstream.router.sh.index)
+			} else {
+				ip.upstreamShard = -1
+			}
 		}
 	}
 	n.sharded = len(n.shards) > 1
 	if n.shardStepFn == nil {
 		n.shardStepFn = func(i int) { n.shards[i].step(n.now, n.scan) }
+	}
+	if n.commitFn == nil {
+		n.commitFn = func(d int) { n.commitShard(d) }
 	}
 }
 
@@ -315,24 +398,46 @@ func (n *Network) fold() {
 	}
 }
 
-// commitShards drains the per-shard outboxes into their targets, in shard
-// order. Per input port the arrivals all come from its single upstream
-// router, so the committed order equals that router's staging order; credit
-// commits are commutative integer additions.
+// commitShards drains the per-shard outboxes into their targets, in
+// parallel: worker d commits everything destined for shard d, scanning
+// source shards in ascending order. Workers write disjoint state (only
+// their own shard's input buffers, credit counters and activity slots), and
+// the result is byte-identical to the old serial shard-order drain: each
+// input port has exactly one upstream router, hence one source shard, so
+// its arrival order is that source's staging order under either schedule;
+// credit commits are commutative integer additions.
 func (n *Network) commitShards() {
+	staged := 0
 	for _, s := range n.shards {
-		for i := range s.outFlits {
-			rf := &s.outFlits[i]
+		for d := range s.outFlits {
+			staged += len(s.outFlits[d]) + len(s.outCredits[d])
+		}
+	}
+	if staged == 0 {
+		return
+	}
+	n.stepPool.Run(len(n.shards), n.commitFn)
+}
+
+// commitShard lands every staged boundary crossing destined for shard d.
+// Pointers in drained entries are cleared so retired packets do not linger
+// reachable through outbox backing arrays.
+func (n *Network) commitShard(d int) {
+	for _, s := range n.shards {
+		flits := s.outFlits[d]
+		for i := range flits {
+			rf := &flits[i]
 			rf.dst.arrivals = append(rf.dst.arrivals, rf.sf)
-			rf.dst.router.flits++
+			rf.dst.router.addFlits(1)
 			rf.dst = nil
 			rf.sf.f.pkt = nil
 		}
-		s.outFlits = s.outFlits[:0]
-		for i := range s.outCredits {
-			s.outCredits[i].op.creditIn[s.outCredits[i].vc]++
-			s.outCredits[i].op = nil
+		s.outFlits[d] = flits[:0]
+		credits := s.outCredits[d]
+		for i := range credits {
+			credits[i].op.creditIn[credits[i].vc]++
+			credits[i].op = nil
 		}
-		s.outCredits = s.outCredits[:0]
+		s.outCredits[d] = credits[:0]
 	}
 }

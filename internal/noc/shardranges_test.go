@@ -1,0 +1,100 @@
+package noc
+
+import "testing"
+
+// TestShardRangesEdgeCases pins the partition on the shapes where integer
+// row division is easy to get wrong: rows not divisible by the shard count,
+// more shards requested than rows, and degenerate one-row meshes.
+func TestShardRangesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		mesh   Mesh
+		shards int
+		want   [][2]int
+	}{
+		{
+			name: "even split", mesh: Mesh{Width: 4, Height: 4}, shards: 2,
+			want: [][2]int{{0, 8}, {8, 16}},
+		},
+		{
+			name: "rows not divisible", mesh: Mesh{Width: 3, Height: 5}, shards: 2,
+			// 5 rows over 2 shards: 2 then 3 rows.
+			want: [][2]int{{0, 6}, {6, 15}},
+		},
+		{
+			name: "three way over seven rows", mesh: Mesh{Width: 2, Height: 7}, shards: 3,
+			// floor(i*7/3) boundaries: rows 0-1, 2-3, 4-6.
+			want: [][2]int{{0, 4}, {4, 8}, {8, 14}},
+		},
+		{
+			name: "shards exceed rows", mesh: Mesh{Width: 4, Height: 3}, shards: 8,
+			// Clamped to one shard per row.
+			want: [][2]int{{0, 4}, {4, 8}, {8, 12}},
+		},
+		{
+			name: "one row mesh", mesh: Mesh{Width: 6, Height: 1}, shards: 4,
+			want: [][2]int{{0, 6}},
+		},
+		{
+			name: "zero shards clamps to one", mesh: Mesh{Width: 4, Height: 4}, shards: 0,
+			want: [][2]int{{0, 16}},
+		},
+		{
+			name: "negative shards clamps to one", mesh: Mesh{Width: 4, Height: 4}, shards: -3,
+			want: [][2]int{{0, 16}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ShardRanges(tc.mesh, tc.shards)
+			if len(got) != len(tc.want) {
+				t.Fatalf("ShardRanges(%dx%d, %d) = %v, want %v",
+					tc.mesh.Width, tc.mesh.Height, tc.shards, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("ShardRanges(%dx%d, %d) = %v, want %v",
+						tc.mesh.Width, tc.mesh.Height, tc.shards, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardRangesProperties sweeps mesh shapes and shard counts and checks
+// the three invariants the stepping protocol relies on: ranges are
+// contiguous (each begins where the previous ended), disjoint and
+// node-covering (the concatenation is exactly [0, nodes)), and every range
+// holds a whole number of non-empty rows (shards own complete rows, so the
+// ejection and NI node order within a shard is the global node order).
+func TestShardRangesProperties(t *testing.T) {
+	for w := 1; w <= 9; w++ {
+		for h := 1; h <= 9; h++ {
+			m := Mesh{Width: w, Height: h}
+			for k := -1; k <= 12; k++ {
+				ranges := ShardRanges(m, k)
+				if want := EffectiveShards(m, k); len(ranges) != want {
+					t.Fatalf("%dx%d k=%d: %d ranges, want %d", w, h, k, len(ranges), want)
+				}
+				prev := 0
+				for i, r := range ranges {
+					if r[0] != prev {
+						t.Fatalf("%dx%d k=%d: range %d starts at %d, want %d (contiguity)",
+							w, h, k, i, r[0], prev)
+					}
+					if r[1] <= r[0] {
+						t.Fatalf("%dx%d k=%d: range %d = %v is empty", w, h, k, i, r)
+					}
+					if (r[1]-r[0])%w != 0 {
+						t.Fatalf("%dx%d k=%d: range %d = %v not whole rows", w, h, k, i, r)
+					}
+					prev = r[1]
+				}
+				if prev != m.Nodes() {
+					t.Fatalf("%dx%d k=%d: ranges end at %d, want %d (coverage)",
+						w, h, k, prev, m.Nodes())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package noc
+
+import "unsafe"
+
+// Struct-of-arrays activity state. The event-driven stepping predicates
+// (router flits, ejector flits, NI queued flits) used to live as scalar
+// fields on their components, so the per-cycle predicate sweep dereferenced
+// one pointer per component — a cache miss per idle router at big meshes.
+// They now live in dense per-shard int32 arrays carved from cache-line
+// aligned blocks:
+//
+//   - the sweep over an idle region touches 16 predicates per cache line
+//     instead of one per line (the component structs are only dereferenced
+//     when active);
+//   - each shard's block is its own allocation, starts on a cache-line
+//     boundary and occupies whole lines, so two shards' workers never write
+//     the same line — the false sharing that flat-lined shard scaling on
+//     shared counters cannot occur by construction.
+
+// cacheLine is the assumed coherence granularity. 64 bytes covers every
+// current x86/ARM server part; a larger true line size only weakens the
+// padding, never correctness.
+const cacheLine = 64
+
+// lineInt32s is the number of int32 slots per cache line.
+const lineInt32s = cacheLine / 4
+
+// roundUpLine rounds n up to a whole number of cache lines worth of int32s.
+func roundUpLine(n int) int { return (n + lineInt32s - 1) &^ (lineInt32s - 1) }
+
+// alignedInt32s returns a zeroed []int32 of length n whose backing memory
+// starts on a cache-line boundary and whose padded extent (capacity) is a
+// whole number of lines inside its own allocation — no other object can
+// share a line with any element. Go's GC does not move heap objects, so the
+// alignment established here holds for the slice's lifetime.
+func alignedInt32s(n int) []int32 {
+	padded := roundUpLine(n)
+	buf := make([]int32, padded+lineInt32s)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % cacheLine; rem != 0 {
+		off = int(cacheLine-rem) / 4
+	}
+	return buf[off : off+n : off+padded]
+}

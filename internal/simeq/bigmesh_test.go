@@ -1,0 +1,80 @@
+package simeq
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// bigMeshConfig scales the Table I configuration to a 16x16 mesh: the size
+// where sharded stepping is meant to pay off (each of 8 shards still owns
+// two full rows) and where the parallel commit phase crosses many shard
+// boundaries per cycle. MC count grows with the mesh edge so the diamond
+// placement stays proportionate.
+func bigMeshConfig() core.Config {
+	cfg := ShortConfig()
+	cfg.MeshWidth = 16
+	cfg.MeshHeight = 16
+	cfg.NumMC = 16
+	return cfg
+}
+
+// TestShardedBigMeshMatchesSerial is the byte-identity lock at scale: on a
+// 16x16 mesh every shard count the benchmarks exercise (2, 4, 8 — plus the
+// degenerate 1) must reproduce the serial result exactly, for all three
+// covered schemes. The big mesh is the configuration where the parallel
+// commit phase actually runs concurrently over many destination shards, so
+// an ordering bug that a 6x6 two-shard run masks (few boundary links, tiny
+// outboxes) has the most room to surface here.
+func TestShardedBigMeshMatchesSerial(t *testing.T) {
+	k, err := trace.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range shardSchemes {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := bigMeshConfig()
+			cfg.Scheme = scheme
+			serial := RunEncoded(t, cfg, k)
+			if len(serial) == 0 {
+				t.Fatal("empty encoded result")
+			}
+			for _, shards := range []int{1, 2, 4, 8} {
+				cfg.Shards = shards
+				got := RunEncoded(t, cfg, k)
+				if !bytes.Equal(got, serial) {
+					t.Fatalf("16x16 %s shards=%d: result differs from serial\n%s",
+						scheme, shards, diffLine(got, serial))
+				}
+			}
+		})
+	}
+}
+
+// TestShardedBigMeshStableAcrossRepeats re-runs the 8-shard 16x16
+// configuration in-process: with eight commit workers racing over real
+// goroutine interleavings, any schedule dependence in the merge order shows
+// up as run-to-run jitter even when one serial comparison passes.
+func TestShardedBigMeshStableAcrossRepeats(t *testing.T) {
+	k, err := trace.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bigMeshConfig()
+	cfg.Scheme = core.AdaARI
+	cfg.Shards = 8
+	first := RunEncoded(t, cfg, k)
+	if len(first) == 0 {
+		t.Fatal("empty encoded result")
+	}
+	for i := 1; i < 3; i++ {
+		got := RunEncoded(t, cfg, k)
+		if !bytes.Equal(got, first) {
+			t.Fatalf("repeat %d diverged from first 8-shard run\n%s", i, diffLine(got, first))
+		}
+	}
+}
